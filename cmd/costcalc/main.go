@@ -1,0 +1,60 @@
+// Command costcalc evaluates the paper's Abstract Cost Model (§6) for a
+// set of microbenchmark-derived parameters.
+//
+// Usage:
+//
+//	costcalc                       # the paper's worked example
+//	costcalc -rd 10 -rc 8 -c 2 -rt 1.1
+//	costcalc -sweep                # TCO saving across C values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cxlsim/internal/costmodel"
+)
+
+func main() {
+	ex := costmodel.PaperExample()
+	rd := flag.Float64("rd", ex.Rd, "relative throughput, working set in main memory (vs SSD=1)")
+	rc := flag.Float64("rc", ex.Rc, "relative throughput, working set in CXL memory (vs SSD=1)")
+	c := flag.Float64("c", ex.C, "main-memory : CXL capacity ratio of a CXL server")
+	rt := flag.Float64("rt", ex.Rt, "relative TCO of a CXL server vs baseline")
+	fixed := flag.Float64("fixed", 0, "fixed platform costs as a fraction of baseline TCO")
+	sweep := flag.Bool("sweep", false, "sweep C from 0.5 to 8 and print the saving curve")
+	flag.Parse()
+
+	p := costmodel.Params{Rd: *rd, Rc: *rc, C: *c, Rt: *rt, FixedCostFrac: *fixed}
+	if err := p.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "costcalc: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *sweep {
+		fmt.Println("C,server_ratio,tco_saving")
+		for _, pt := range p.Sweep([]float64{0.5, 1, 1.5, 2, 3, 4, 6, 8}) {
+			if !pt.Valid {
+				fmt.Printf("%.1f,n/a,n/a\n", pt.C)
+				continue
+			}
+			fmt.Printf("%.1f,%.4f,%.4f\n", pt.C, pt.ServerRatio, pt.TCOSaving)
+		}
+		return
+	}
+
+	ratio, err := p.ServerRatio()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "costcalc: %v\n", err)
+		os.Exit(1)
+	}
+	saving, err := p.TCOSaving()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "costcalc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("parameters: Rd=%.2f Rc=%.2f C=%.2f Rt=%.2f fixed=%.2f\n", p.Rd, p.Rc, p.C, p.Rt, p.FixedCostFrac)
+	fmt.Printf("N_cxl / N_baseline : %.2f%% (server reduction %.2f%%)\n", ratio*100, (1-ratio)*100)
+	fmt.Printf("TCO saving         : %.2f%%\n", saving*100)
+}

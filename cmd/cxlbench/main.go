@@ -1,0 +1,66 @@
+// Command cxlbench regenerates the paper's tables and figures on the
+// simulated testbed.
+//
+// Usage:
+//
+//	cxlbench [-quick] [-seed N] all
+//	cxlbench [-quick] [-seed N] fig3 fig5 table3 ...
+//	cxlbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cxlsim/internal/core"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "shrink op counts and sweeps for a fast smoke run")
+	seed := flag.Int64("seed", 0, "workload seed (0 = default 42)")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	format := flag.String("format", "table", "output format: table or csv")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cxlbench [-quick] [-seed N] all | <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(core.Experiments(), " "))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(core.Experiments(), "\n"))
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opt := core.Options{Quick: *quick, Seed: *seed}
+
+	ids := args
+	if len(args) == 1 && args[0] == "all" {
+		ids = core.Experiments()
+	}
+	for _, id := range ids {
+		rep, err := core.Run(id, opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "table":
+			rep.WriteTable(os.Stdout)
+		case "csv":
+			if err := rep.WriteCSV(os.Stdout); err != nil {
+				fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+				os.Exit(1)
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "cxlbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command cxlfit recovers device-model parameters from loaded-latency
+// measurements — the "develop performance models based on empirical
+// evidence" workflow the paper motivates (§1). Feed it cxlmlc CSV output
+// or real-machine MLC data with bandwidth and latency columns.
+//
+// Usage:
+//
+//	go run ./cmd/cxlmlc -path CXL -mix 2:1 | go run ./cmd/cxlfit
+//	cxlfit -bw-col 4 -lat-col 5 < measurements.csv
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"cxlsim/internal/memsim"
+)
+
+func main() {
+	bwCol := flag.Int("bw-col", 5, "1-based CSV column holding achieved bandwidth (GB/s)")
+	latCol := flag.Int("lat-col", 6, "1-based CSV column holding latency (ns)")
+	flag.Parse()
+	if *bwCol < 1 || *latCol < 1 {
+		fmt.Fprintln(os.Stderr, "cxlfit: column indexes are 1-based")
+		os.Exit(2)
+	}
+
+	samples, err := readSamples(os.Stdin, *bwCol-1, *latCol-1)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxlfit: %v\n", err)
+		os.Exit(1)
+	}
+	fit, err := memsim.Fit(samples)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxlfit: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("samples        : %d\n", len(samples))
+	fmt.Printf("idle latency   : %.1f ns\n", fit.IdleNs)
+	fmt.Printf("peak bandwidth : %.1f GB/s\n", fit.PeakGBps)
+	fmt.Printf("knee           : %.0f%% of peak\n", fit.Knee*100)
+	fmt.Printf("queue scale    : %.2f\n", fit.QueueScale)
+	fmt.Printf("fit RMSE       : %.1f ns\n", fit.RMSE)
+}
+
+// readSamples parses CSV rows, skipping any row whose selected cells are
+// not numeric (headers, comments).
+func readSamples(r io.Reader, bwIdx, latIdx int) ([]memsim.Sample, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var out []memsim.Sample
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if bwIdx >= len(rec) || latIdx >= len(rec) {
+			continue
+		}
+		bw, err1 := strconv.ParseFloat(rec[bwIdx], 64)
+		lat, err2 := strconv.ParseFloat(rec[latIdx], 64)
+		if err1 != nil || err2 != nil {
+			continue // header or comment row
+		}
+		out = append(out, memsim.Sample{BandwidthGBps: bw, LatencyNs: lat})
+	}
+	return out, nil
+}

@@ -1,0 +1,45 @@
+// Command cxlserve runs the paper's Fig. 9 LLM serving stack as an HTTP
+// service over the simulated cluster.
+//
+// Usage:
+//
+//	cxlserve -addr :8080 -policy 3:1 -backends 5
+//	curl -XPOST localhost:8080/generate -d '{"prompt":"hi","max_tokens":64}'
+//	curl localhost:8080/metrics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+
+	"cxlsim/internal/llm"
+	"cxlsim/internal/llmserve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	policy := flag.String("policy", "MMEM", "placement policy: MMEM, 3:1, 1:1, or 1:3")
+	backends := flag.Int("backends", 4, "CPU inference backends (12 threads each)")
+	flag.Parse()
+
+	var chosen *llm.Policy
+	for _, p := range llm.Fig10Policies() {
+		if p.Name == *policy {
+			p := p
+			chosen = &p
+			break
+		}
+	}
+	if chosen == nil {
+		log.Fatalf("cxlserve: unknown policy %q", *policy)
+	}
+	if *backends < 1 {
+		log.Fatal("cxlserve: need at least one backend")
+	}
+
+	s := llmserve.New(llm.NewCluster(), *chosen, *backends)
+	fmt.Printf("cxlserve: policy=%s backends=%d listening on %s\n", chosen.Name, *backends, *addr)
+	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}

@@ -1,0 +1,94 @@
+// Command cxlycsb runs a YCSB workload (stock property-file format)
+// against the simulated KeyDB deployment and prints YCSB-client-style
+// output — the §4.1 methodology as a standalone tool.
+//
+// Usage:
+//
+//	cxlycsb -config MMEM -workload A
+//	cxlycsb -config 1:1 -spec path/to/workloada -ops 50000
+//	cxlycsb -list-configs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cxlsim/internal/kvstore"
+	"cxlsim/internal/workload"
+)
+
+func main() {
+	config := flag.String("config", "MMEM", "Table-1 configuration (see -list-configs)")
+	wl := flag.String("workload", "A", "built-in YCSB workload: A, B, C, or D")
+	spec := flag.String("spec", "", "path to a YCSB property file (overrides -workload)")
+	ops := flag.Int("ops", 40_000, "measured operations")
+	seed := flag.Int64("seed", 42, "workload seed")
+	list := flag.Bool("list-configs", false, "list configurations and exit")
+	flag.Parse()
+
+	if *list {
+		for _, c := range kvstore.Table1Configs() {
+			fmt.Println(c)
+		}
+		return
+	}
+
+	mix, records, err := resolveWorkload(*wl, *spec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
+		os.Exit(1)
+	}
+
+	opts := kvstore.DeployOptions{SimKeys: 1 << 16}
+	if records > 0 && records < uint64(opts.SimKeys) {
+		opts.SimKeys = int(records)
+	}
+	d, err := kvstore.Deploy(kvstore.ConfigName(*config), opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
+		os.Exit(1)
+	}
+	d.Warm(mix, 120, 100_000, *seed)
+	rc := d.RunConfigFor(mix, *seed)
+	rc.Ops = *ops
+	res := kvstore.Run(d.Store, d.Alloc, rc)
+
+	// YCSB-client-flavoured report.
+	fmt.Printf("[OVERALL], Configuration, %s\n", *config)
+	fmt.Printf("[OVERALL], Workload, %s\n", mix.Name)
+	fmt.Printf("[OVERALL], Throughput(ops/sec), %.1f\n", res.ThroughputOpsPerSec)
+	for _, p := range []float64{50, 90, 95, 99, 99.9} {
+		fmt.Printf("[READ], %gthPercentileLatency(us), %.1f\n", p, res.ReadLatency.Percentile(p)/1e3)
+	}
+	fmt.Printf("[READ], AverageLatency(us), %.1f\n", res.ReadLatency.Mean()/1e3)
+	fmt.Printf("[CACHE], HitRate, %.4f\n", res.HitRate)
+	if res.Migrated > 0 {
+		fmt.Printf("[TIERING], MigratedBytes, %d\n", res.Migrated)
+	}
+}
+
+// resolveWorkload picks the op mix from a spec file or the built-ins.
+func resolveWorkload(builtin, specPath string) (workload.YCSBMix, uint64, error) {
+	if specPath != "" {
+		f, err := os.Open(specPath)
+		if err != nil {
+			return workload.YCSBMix{}, 0, err
+		}
+		defer f.Close()
+		return workload.ParseSpec(f)
+	}
+	switch strings.ToUpper(builtin) {
+	case "A":
+		return workload.YCSBA, 0, nil
+	case "B":
+		return workload.YCSBB, 0, nil
+	case "C":
+		return workload.YCSBC, 0, nil
+	case "D":
+		return workload.YCSBD, 0, nil
+	default:
+		return workload.YCSBMix{}, 0, fmt.Errorf("unknown workload %q (want A-D or -spec)", builtin)
+	}
+}

@@ -1,0 +1,76 @@
+// cost-planning walks the §6 Abstract Cost Model end to end: it derives
+// the model's inputs (Rd, Rc) from the simulator the way the paper
+// derives them from microbenchmarks, then explores TCO savings across
+// CXL-capacity ratios and server premiums.
+//
+// Run with: go run ./examples/cost-planning
+package main
+
+import (
+	"fmt"
+
+	"cxlsim/internal/costmodel"
+	"cxlsim/internal/elastic"
+	"cxlsim/internal/memsim"
+	"cxlsim/internal/topology"
+)
+
+func main() {
+	// Derive Rd and Rc the way §6 prescribes: run the same
+	// capacity-bound work unit (here: 100 µs of CPU + a 4 MB scan, a
+	// Spark-task-sized quantum) with the working set in DRAM, in CXL,
+	// and spilled to SSD, and normalize the throughputs to the SSD case.
+	m := topology.Testbed()
+	const (
+		cpuNs     = 100_000.0
+		unitBytes = 4e6
+	)
+	unitTime := func(p *memsim.Path, accessBytes float64) float64 {
+		res, _ := memsim.SolveClosed([]memsim.ClosedFlow{{
+			Placement: memsim.SinglePath(p), Mix: memsim.ReadOnly,
+			Threads: 8, MLP: 8, AccessBytes: accessBytes,
+		}})
+		perThreadBW := res[0].Achieved / 8
+		return cpuNs + res[0].Latency + unitBytes/perThreadBW
+	}
+	// Memory scans move cachelines; SSD reads move 128 KB blocks.
+	ssd := unitTime(m.SSDPath(), 128<<10)
+	rd := ssd / unitTime(m.PathFrom(0, m.DRAMNodes(0)[0]), 64)
+	rc := ssd / unitTime(m.PathFrom(0, m.CXLNodes()[0]), 64)
+	fmt.Printf("microbenchmark-derived parameters: Rd=%.1f Rc=%.1f (Ps=1)\n", rd, rc)
+
+	// The paper's worked example for reference.
+	ex := costmodel.PaperExample()
+	ratio, _ := ex.ServerRatio()
+	saving, _ := ex.TCOSaving()
+	fmt.Printf("paper example (Rd=10 Rc=8 C=2 Rt=1.1): servers %.2f%%, saving %.2f%%\n\n", ratio*100, saving*100)
+
+	// Planning sweep: how does the saving move with the MMEM:CXL
+	// capacity ratio and the CXL-server premium?
+	fmt.Println("TCO saving by C (rows) and Rt (columns):")
+	rts := []float64{1.0, 1.1, 1.2, 1.3}
+	fmt.Printf("%6s", "C")
+	for _, rt := range rts {
+		fmt.Printf("%9.1f", rt)
+	}
+	fmt.Println()
+	for _, c := range []float64{0.5, 1, 2, 4, 8} {
+		fmt.Printf("%6.1f", c)
+		for _, rt := range rts {
+			p := costmodel.Params{Rd: 10, Rc: 8, C: c, Rt: rt}
+			s, err := p.TCOSaving()
+			if err != nil {
+				fmt.Printf("%9s", "n/a")
+				continue
+			}
+			fmt.Printf("%8.1f%%", s*100)
+		}
+		fmt.Println()
+	}
+
+	// And the elastic-compute side (§4.3).
+	rm := elastic.PaperExample()
+	fmt.Printf("\nelastic compute: a 1:3-provisioned server strands %.0f%% of vCPUs;\n", rm.StrandedFrac()*100)
+	fmt.Printf("selling them on CXL at a %.0f%% discount recovers %.2f%% extra revenue\n",
+		rm.CXLDiscount*100, rm.RecoveredRevenueFrac()*100)
+}

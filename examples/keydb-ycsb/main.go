@@ -1,0 +1,41 @@
+// keydb-ycsb reproduces the heart of §4.1: a KeyDB-style store with a
+// 512 GB working set evaluated under the Table-1 memory configurations
+// with YCSB-A.
+//
+// Run with: go run ./examples/keydb-ycsb
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cxlsim/internal/kvstore"
+	"cxlsim/internal/workload"
+)
+
+func main() {
+	mix := workload.YCSBA
+	fmt.Printf("KeyDB / %s, 512 GB working set, 7 server-threads\n\n", mix.Name)
+	fmt.Println("config        kops/s   vs MMEM   p99 (µs)  hit-rate")
+
+	var base float64
+	for _, conf := range kvstore.Table1Configs() {
+		d, err := kvstore.Deploy(conf, kvstore.DeployOptions{SimKeys: 1 << 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Let tiering converge before measuring (the paper measures
+		// steady state).
+		d.Warm(mix, 120, 100_000, 7)
+		rc := d.RunConfigFor(mix, 42)
+		rc.Ops = 30_000
+		res := kvstore.Run(d.Store, d.Alloc, rc)
+		if conf == kvstore.ConfMMEM {
+			base = res.ThroughputOpsPerSec
+		}
+		fmt.Printf("%-12s  %6.0f   %5.2fx    %7.0f   %.3f\n",
+			conf, res.ThroughputOpsPerSec/1e3, base/res.ThroughputOpsPerSec,
+			res.Latency.Percentile(99)/1e3, res.HitRate)
+	}
+	fmt.Println("\npaper §4.1.2: interleave 1.2–1.5x slower, SSD ≈1.8x, Hot-Promote ≈ MMEM")
+}

@@ -1,0 +1,48 @@
+// llm-serving reproduces §5: CPU LLM inference on one SNC domain plus a
+// CXL expander, sweeping backend counts under the interleave policies and
+// printing the Fig. 10(a) serving-rate series.
+//
+// Run with: go run ./examples/llm-serving
+package main
+
+import (
+	"fmt"
+
+	"cxlsim/internal/llm"
+)
+
+func main() {
+	c := llm.NewCluster()
+	fmt.Println("CPU LLM inference, Alpaca-7B-class model (4.1 GB), 12 threads/backend")
+	fmt.Println("serving rate (tokens/s) by total thread count:")
+	fmt.Println()
+
+	series := c.Fig10a(6)
+	fmt.Printf("%-8s", "threads")
+	for _, p := range llm.Fig10Policies() {
+		fmt.Printf("%10s", p.Name)
+	}
+	fmt.Println()
+	for i := 0; i < 6; i++ {
+		fmt.Printf("%-8d", (i+1)*llm.BackendThreads)
+		for _, p := range llm.Fig10Policies() {
+			fmt.Printf("%10.2f", series[p.Name][i].TokensPerSec)
+		}
+		fmt.Println()
+	}
+
+	mmem := series["MMEM"]
+	i31 := series["3:1"]
+	gain := i31[4].TokensPerSec/mmem[4].TokensPerSec - 1
+	fmt.Printf("\nat 60 threads, 3:1 interleave surpasses MMEM-only by %.0f%% (paper: 95%%)\n", gain*100)
+
+	fmt.Println("\nFig 10(b): single-backend bandwidth vs threads")
+	for _, th := range []int{4, 8, 12, 16, 20, 24, 32} {
+		fmt.Printf("  %2d threads: %5.1f GB/s\n", th, c.BackendBandwidth(th))
+	}
+
+	fmt.Println("\nFig 10(c): bandwidth vs KV cache size")
+	for _, kv := range []float64{0, 2e9, 8e9, 32e9} {
+		fmt.Printf("  %4.0f GB: %5.1f GB/s\n", kv/1e9, c.KVCacheBandwidth(kv))
+	}
+}

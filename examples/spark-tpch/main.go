@@ -1,0 +1,49 @@
+// spark-tpch reproduces §4.2: shuffle-heavy TPC-H queries across the
+// Fig. 7 cluster configurations — 3 MMEM-only servers vs 2 CXL-expanded
+// servers vs memory-restricted SSD spill vs Hot-Promote.
+//
+// Run with: go run ./examples/spark-tpch
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cxlsim/internal/analytics"
+)
+
+func main() {
+	queries := analytics.TPCHQueries()
+	fmt.Println("Spark TPC-H (7 TB dataset, 150 executors × 1 core / 8 GB)")
+	fmt.Println("execution time normalized to the 3-server MMEM cluster:")
+	fmt.Println()
+
+	fmt.Printf("%-14s", "config")
+	for _, q := range queries {
+		fmt.Printf("%8s", q.Name)
+	}
+	fmt.Printf("%12s\n", "shuffle(Q9)")
+
+	base := map[string]float64{}
+	for _, cfg := range analytics.Fig7Configs() {
+		eng, err := analytics.NewEngine(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-14s", cfg.Name)
+		var q9 analytics.QueryResult
+		for _, q := range queries {
+			r := eng.Run(q)
+			if cfg.Name == "MMEM" {
+				base[q.Name] = r.ExecTimeNs
+			}
+			fmt.Printf("%7.2fx", r.ExecTimeNs/base[q.Name])
+			if q.Name == "Q9" {
+				q9 = r
+			}
+		}
+		fmt.Printf("%11.0f%%\n", q9.ShufflePct()*100)
+	}
+	fmt.Println("\npaper §4.2.2: interleave 1.4–9.8x vs MMEM; spill slower still;")
+	fmt.Println("Hot-Promote >34% slower than MMEM (promotion thrashing on low-locality shuffle)")
+}

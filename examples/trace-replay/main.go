@@ -1,0 +1,63 @@
+// trace-replay demonstrates the trace workflow: capture a YCSB operation
+// stream once, serialize it, and replay the identical stream against two
+// memory configurations — the apples-to-apples comparison methodology the
+// paper's artifact release supports.
+//
+// Run with: go run ./examples/trace-replay
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"cxlsim/internal/kvstore"
+	"cxlsim/internal/topology"
+	"cxlsim/internal/trace"
+	"cxlsim/internal/vmm"
+	"cxlsim/internal/workload"
+)
+
+func main() {
+	const simKeys = 1 << 14
+
+	// Capture 20k YCSB-B operations.
+	tr := trace.Record(workload.NewYCSB(workload.YCSBB, simKeys, 7), 20_000)
+	stats := tr.Summarize()
+	fmt.Printf("captured %d ops: %d reads, %d updates, %d unique keys\n",
+		tr.Len(), stats.Reads, stats.Updates, stats.UniqueKeys)
+
+	// Round-trip through the wire format (what you'd write to a file).
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialized to %d bytes (%.1f bytes/op)\n\n", buf.Len(), float64(buf.Len())/float64(tr.Len()))
+	back, err := trace.Read(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Replay against MMEM-bound and CXL-bound stores.
+	run := func(label string, pick func(*topology.Machine) []*topology.Node) {
+		m := topology.Testbed()
+		alloc := vmm.NewAllocator(m)
+		st, err := kvstore.NewStore(m, alloc, kvstore.StoreConfig{
+			WorkingSetBytes: 100 << 30, SimKeys: simKeys, MaxMemoryFrac: 1,
+			Policy: vmm.Bind{Nodes: pick(m)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := kvstore.Run(st, alloc, kvstore.RunConfig{
+			Mix: workload.YCSBB, Ops: 10_000, Seed: 7,
+			Source: trace.NewReplayer(back),
+		})
+		fmt.Printf("%-5s %8.0f ops/s   p50 %5.1f µs   p99 %5.1f µs\n",
+			label, res.ThroughputOpsPerSec,
+			res.Latency.Percentile(50)/1e3, res.Latency.Percentile(99)/1e3)
+	}
+	fmt.Println("replaying the identical stream:")
+	run("MMEM", func(m *topology.Machine) []*topology.Node { return m.DRAMNodes(0) })
+	run("CXL", func(m *topology.Machine) []*topology.Node { return m.CXLNodes() })
+}

@@ -1,0 +1,3 @@
+module cxlsim
+
+go 1.22

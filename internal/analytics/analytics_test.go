@@ -1,0 +1,218 @@
+package analytics
+
+import (
+	"math"
+	"testing"
+)
+
+// runAll executes every (config, query) cell once and caches results.
+var fig7Cache map[string]map[string]QueryResult
+
+func fig7(t *testing.T) map[string]map[string]QueryResult {
+	t.Helper()
+	if fig7Cache != nil {
+		return fig7Cache
+	}
+	out := map[string]map[string]QueryResult{}
+	for _, cfg := range Fig7Configs() {
+		e, err := NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[cfg.Name] = map[string]QueryResult{}
+		for _, q := range TPCHQueries() {
+			out[cfg.Name][q.Name] = e.Run(q)
+		}
+	}
+	fig7Cache = out
+	return out
+}
+
+func norm(t *testing.T, res map[string]map[string]QueryResult, cfg, q string) float64 {
+	t.Helper()
+	base := res["MMEM"][q].ExecTimeNs
+	if base == 0 {
+		t.Fatalf("no MMEM baseline for %s", q)
+	}
+	return res[cfg][q].ExecTimeNs / base
+}
+
+func TestQueryProfiles(t *testing.T) {
+	qs := TPCHQueries()
+	if len(qs) != 4 {
+		t.Fatalf("want 4 queries (Q5,Q7,Q8,Q9), got %d", len(qs))
+	}
+	names := []string{"Q5", "Q7", "Q8", "Q9"}
+	for i, q := range qs {
+		if q.Name != names[i] {
+			t.Errorf("query %d = %s, want %s", i, q.Name, names[i])
+		}
+		if len(q.Phases) != 3 {
+			t.Errorf("%s: want 3 phases", q.Name)
+		}
+	}
+	// Q9 shuffles the most (the paper's most shuffle-intensive query).
+	if qs[3].Phases[1].StreamBytes <= qs[0].Phases[1].StreamBytes {
+		t.Error("Q9 should shuffle more than Q5")
+	}
+}
+
+func TestFig7ConfigsShape(t *testing.T) {
+	cfgs := Fig7Configs()
+	if len(cfgs) != 7 {
+		t.Fatalf("want 7 configurations, got %d", len(cfgs))
+	}
+	for _, c := range cfgs {
+		total := c.Servers * c.ExecutorsPerServer
+		if total != 150 {
+			t.Errorf("%s: %d executors, want 150 (§4.2.1)", c.Name, total)
+		}
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	bad := []ClusterConfig{
+		{Servers: 0, ExecutorsPerServer: 1},
+		{Servers: 1, ExecutorsPerServer: 0},
+		{Servers: 1, ExecutorsPerServer: 1, MMEMExecFrac: 1.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewEngine(cfg); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+// TestFig7aInterleaveRange: §4.2.2 — "a performance slowdown, ranging
+// from 1.4x to 9.8x compared to the optimal MMEM-only scenario".
+func TestFig7aInterleaveRange(t *testing.T) {
+	res := fig7(t)
+	min, max := math.Inf(1), 0.0
+	for _, cfg := range []string{"3:1", "1:1", "1:3"} {
+		for _, q := range []string{"Q5", "Q7", "Q8", "Q9"} {
+			n := norm(t, res, cfg, q)
+			if n < min {
+				min = n
+			}
+			if n > max {
+				max = n
+			}
+		}
+	}
+	if min < 1.2 || min > 1.8 {
+		t.Errorf("best interleave cell = %.2f×, want ≈1.4×", min)
+	}
+	if max < 7.5 || max > 12 {
+		t.Errorf("worst interleave cell = %.2f×, want ≈9.8×", max)
+	}
+}
+
+// TestFig7aMonotonicity: degradation grows with the CXL share and with
+// shuffle intensity (Q5 → Q9).
+func TestFig7aMonotonicity(t *testing.T) {
+	res := fig7(t)
+	queries := []string{"Q5", "Q7", "Q8", "Q9"}
+	order := []string{"MMEM", "3:1", "1:1", "1:3"}
+	for _, q := range queries {
+		for i := 1; i < len(order); i++ {
+			lo, hi := norm(t, res, order[i-1], q), norm(t, res, order[i], q)
+			if hi <= lo {
+				t.Errorf("%s: %s (%.2f) should be slower than %s (%.2f)", q, order[i], hi, order[i-1], lo)
+			}
+		}
+	}
+	for _, cfg := range []string{"3:1", "1:1", "1:3"} {
+		for i := 1; i < len(queries); i++ {
+			lo, hi := norm(t, res, cfg, queries[i-1]), norm(t, res, cfg, queries[i])
+			if hi <= lo {
+				t.Errorf("%s: %s (%.2f) should degrade more than %s (%.2f)", cfg, queries[i], hi, queries[i-1], lo)
+			}
+		}
+	}
+}
+
+// TestFig7aInterleaveBeatsSpill: "even with this slowdown, the
+// interleaving approach remains significantly faster than spilling data
+// to SSDs" — each interleave ratio beats the spill config with the
+// corresponding memory pressure.
+func TestFig7aInterleaveBeatsSpill(t *testing.T) {
+	res := fig7(t)
+	for _, q := range []string{"Q5", "Q7", "Q8", "Q9"} {
+		if norm(t, res, "1:3", q) >= norm(t, res, "MMEM-SSD-0.6", q) {
+			t.Errorf("%s: 1:3 (%.2f) should beat MMEM-SSD-0.6 (%.2f)",
+				q, norm(t, res, "1:3", q), norm(t, res, "MMEM-SSD-0.6", q))
+		}
+		if norm(t, res, "1:1", q) >= norm(t, res, "MMEM-SSD-0.8", q) {
+			t.Errorf("%s: 1:1 (%.2f) should beat MMEM-SSD-0.8 (%.2f)",
+				q, norm(t, res, "1:1", q), norm(t, res, "MMEM-SSD-0.8", q))
+		}
+	}
+}
+
+// TestFig7aHotPromote: §4.2.2 — Hot-Promote shows "a more than 34%
+// slowdown compared to MMEM" on Spark, the opposite of its KeyDB result;
+// promotion drift still beats static 1:1 placement.
+func TestFig7aHotPromote(t *testing.T) {
+	res := fig7(t)
+	for _, q := range []string{"Q5", "Q7", "Q8", "Q9"} {
+		n := norm(t, res, "Hot-Promote", q)
+		if n < 1.34 {
+			t.Errorf("%s: Hot-Promote %.2f×, paper reports >1.34×", q, n)
+		}
+		if n >= norm(t, res, "1:1", q) {
+			t.Errorf("%s: Hot-Promote (%.2f) should still beat static 1:1 (%.2f)", q, n, norm(t, res, "1:1", q))
+		}
+	}
+}
+
+// TestFig7bShuffleShare: Fig. 7(b) — shuffling dominates execution as the
+// data-spill problem intensifies; spill configs approach total
+// shuffle-boundedness.
+func TestFig7bShuffleShare(t *testing.T) {
+	res := fig7(t)
+	for _, q := range []string{"Q5", "Q7", "Q8", "Q9"} {
+		mmem := res["MMEM"][q].ShufflePct()
+		spill := res["MMEM-SSD-0.6"][q].ShufflePct()
+		if spill <= mmem {
+			t.Errorf("%s: spill shuffle share (%.2f) should exceed MMEM's (%.2f)", q, spill, mmem)
+		}
+		if spill < 0.8 {
+			t.Errorf("%s: heavy spill should be shuffle-dominated, got %.2f", q, spill)
+		}
+		// Write + read components decompose the share.
+		r := res["MMEM-SSD-0.6"][q]
+		sum := r.ShuffleWrite + r.ShuffleRead
+		if math.Abs(sum-r.ShufflePct()) > 1e-9 {
+			t.Errorf("%s: shuffle components %.3f don't sum to share %.3f", q, sum, r.ShufflePct())
+		}
+	}
+	// Q9 is the most shuffle-bound query in every configuration.
+	for cfg := range res {
+		if res[cfg]["Q9"].ShufflePct() <= res[cfg]["Q5"].ShufflePct() {
+			t.Errorf("%s: Q9 shuffle share should exceed Q5's", cfg)
+		}
+	}
+}
+
+func TestShufflePctZeroSafe(t *testing.T) {
+	if (QueryResult{}).ShufflePct() != 0 {
+		t.Fatal("zero exec time should give zero shuffle share")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	e1, _ := NewEngine(Fig7Configs()[2])
+	e2, _ := NewEngine(Fig7Configs()[2])
+	q := TPCHQueries()[1]
+	if e1.Run(q).ExecTimeNs != e2.Run(q).ExecTimeNs {
+		t.Fatal("engine runs are not deterministic")
+	}
+}
+
+func BenchmarkQ9Interleave13(b *testing.B) {
+	e, _ := NewEngine(Fig7Configs()[3])
+	q := TPCHQueries()[3]
+	for i := 0; i < b.N; i++ {
+		e.Run(q)
+	}
+}

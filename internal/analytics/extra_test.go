@@ -1,0 +1,124 @@
+package analytics
+
+import (
+	"testing"
+)
+
+// TestCustomQueryProfile: the engine accepts arbitrary profiles, not just
+// the TPC-H four.
+func TestCustomQueryProfile(t *testing.T) {
+	e, err := NewEngine(ClusterConfig{Name: "MMEM", Servers: 3, ExecutorsPerServer: 50, MMEMExecFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := QueryProfile{
+		Name:      "custom",
+		ComputeNs: 5e9,
+		Phases: []Phase{
+			{Name: "scan", StreamBytes: 100e9},
+			{Name: "sw", Shuffle: true, Write: true, StreamBytes: 50e9, RandomAccesses: 1e8},
+		},
+	}
+	r := e.Run(q)
+	if r.ExecTimeNs <= 5e9 {
+		t.Fatalf("exec time %v should exceed compute time alone", r.ExecTimeNs)
+	}
+	if r.ShuffleRead != 0 {
+		t.Fatal("no read phase → no read share")
+	}
+	if r.ShuffleWrite <= 0 {
+		t.Fatal("write phase should register")
+	}
+}
+
+// TestComputeOnlyQuery: a query with no memory work costs exactly its
+// compute time.
+func TestComputeOnlyQuery(t *testing.T) {
+	e, err := NewEngine(ClusterConfig{Name: "MMEM", Servers: 1, ExecutorsPerServer: 1, MMEMExecFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := QueryProfile{Name: "cpu", ComputeNs: 7e9}
+	r := e.Run(q)
+	if r.ExecTimeNs != 7e9 {
+		t.Fatalf("exec = %v, want exactly 7e9", r.ExecTimeNs)
+	}
+	if r.ShufflePct() != 0 {
+		t.Fatal("no shuffle time expected")
+	}
+}
+
+// TestNetworkOnlyPhaseTerminates: a phase with no memory work (pure
+// shuffle transfer) must not hang the epoch loop.
+func TestNetworkOnlyPhaseTerminates(t *testing.T) {
+	e, err := NewEngine(ClusterConfig{Name: "MMEM", Servers: 2, ExecutorsPerServer: 10, MMEMExecFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := QueryProfile{
+		Name:   "netonly",
+		Phases: []Phase{{Name: "xfer", NetworkBytes: 50e9, Shuffle: true}},
+	}
+	r := e.Run(q)
+	// 25 GB/server at 12.5 GB/s ⇒ 2 s, quantized to 100 ms epochs.
+	if r.ExecTimeNs < 1.9e9 || r.ExecTimeNs > 2.2e9 {
+		t.Fatalf("network-only exec = %v ns, want ≈2e9", r.ExecTimeNs)
+	}
+}
+
+// TestMoreServersFinishFaster: the same cluster work over more servers
+// completes sooner (per-server slice shrinks).
+func TestMoreServersFinishFaster(t *testing.T) {
+	q := TPCHQueries()[0]
+	run := func(servers int) float64 {
+		e, err := NewEngine(ClusterConfig{Name: "x", Servers: servers, ExecutorsPerServer: 50, MMEMExecFrac: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run(q).ExecTimeNs
+	}
+	if t3, t6 := run(3), run(6); t6 >= t3 {
+		t.Fatalf("6 servers (%v) should beat 3 servers (%v)", t6, t3)
+	}
+}
+
+// TestSpillFractionMonotone: more spill means more execution time.
+func TestSpillFractionMonotone(t *testing.T) {
+	q := TPCHQueries()[3]
+	prev := 0.0
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75} {
+		e, err := NewEngine(ClusterConfig{Name: "x", Servers: 3, ExecutorsPerServer: 50, MMEMExecFrac: 1, SpillFrac: frac})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := e.Run(q).ExecTimeNs
+		if tm <= prev {
+			t.Fatalf("spill %.2f exec %v not above previous %v", frac, tm, prev)
+		}
+		prev = tm
+	}
+}
+
+// TestDegradedCXLWorsensInterleave: failure injection flows through the
+// analytics engine too.
+func TestDegradedCXLWorsensInterleave(t *testing.T) {
+	cfg := ClusterConfig{Name: "1:1", Servers: 2, ExecutorsPerServer: 75, MMEMExecFrac: 0.5}
+	q := TPCHQueries()[1]
+	healthy, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hTime := healthy.Run(q).ExecTimeNs
+
+	degraded, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range degraded.machine.CXLNodes() {
+		n.Resource().Degrade(0.5, 1.5)
+	}
+	dTime := degraded.Run(q).ExecTimeNs
+	if dTime <= hTime {
+		t.Fatalf("degraded CXL exec %v should exceed healthy %v", dTime, hTime)
+	}
+}

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"fmt"
+
+	"cxlsim/internal/memsim"
+)
+
+func init() {
+	registry["emu"] = EmulationComparison
+	registry["gen"] = Generations
+}
+
+// EmulationComparison quantifies the §2.2 methodology critique: research
+// that emulates CXL memory with a remote NUMA node misses both the
+// latency gap (130 vs 250 ns idle) and — decisively — the contention
+// behaviour: the UPI path loses bandwidth under mixed traffic while the
+// real ASIC's PCIe path does not, so emulation-derived policies over- or
+// under-offload.
+func EmulationComparison(Options) (*Report, error) {
+	rep := &Report{
+		ID:      "emu",
+		Title:   "NUMA emulation vs real ASIC CXL (§2.2 methodology gap)",
+		Headers: []string{"mix", "emulated idle", "real idle", "emu peak", "real peak", "peak error"},
+	}
+	emu := memsim.NewPath("numa-emulation", memsim.NewUPILink("upi"), memsim.NewDDRDomain("ddr"))
+	real := memsim.NewPath("asic-cxl", memsim.NewCXLDevice("cxl"))
+	for _, mix := range memsim.StandardMixes() {
+		e, r := emu.PeakBandwidth(mix), real.PeakBandwidth(mix)
+		rep.AddRow(mix.Label(),
+			fmt.Sprintf("%.0f ns", emu.IdleLatency(mix)),
+			fmt.Sprintf("%.0f ns", real.IdleLatency(mix)),
+			fmt.Sprintf("%.1f GB/s", e),
+			fmt.Sprintf("%.1f GB/s", r),
+			fmt.Sprintf("%+.0f%%", (e/r-1)*100))
+	}
+	rep.AddNote("emulation understates idle latency by ≈2x and misstates per-mix bandwidth, worst for write-heavy traffic")
+	return rep, nil
+}
+
+// Generations renders the §7 projection: device characteristics across
+// CXL generations.
+func Generations(Options) (*Report, error) {
+	rep := &Report{
+		ID:      "gen",
+		Title:   "CXL generations projection (§7 discussion)",
+		Headers: []string{"device", "idle ns", "peak GB/s (2:1)", "lat vs DDR", "bw vs DDR"},
+	}
+	for _, g := range memsim.CompareGenerations(memsim.Mix2to1) {
+		rep.AddRow(g.Name,
+			fmt.Sprintf("%.0f", g.IdleNs),
+			fmt.Sprintf("%.1f", g.PeakGBps),
+			fmt.Sprintf("%.2fx", g.LatVsDDR),
+			fmt.Sprintf("%.2fx", g.BWFracDDR))
+	}
+	rep.AddNote("CXL 2.0/3.x rows are projections (switch/fabric latency + PCIe 6.0 rate), not measurements")
+	return rep, nil
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+
+	"cxlsim/internal/planner"
+)
+
+func init() {
+	registry["plan"] = PlanExperiment
+}
+
+// PlanExperiment runs the fleet planner over representative workload
+// mixes, showing where CXL expansion wins on cost (§6's "guidance to the
+// design of the next-generation infrastructure").
+func PlanExperiment(Options) (*Report, error) {
+	rep := &Report{
+		ID:      "plan",
+		Title:   "Fleet planning across server shapes (§6 guidance)",
+		Headers: []string{"fleet", "chosen shape", "servers", "cost units", "DRAM GB", "CXL GB"},
+	}
+	fleets := []struct {
+		name    string
+		classes []planner.WorkloadClass
+	}{
+		{"capacity-bound (KeyDB-like)", []planner.WorkloadClass{
+			{Name: "keydb", Count: 12, WorkingSetGB: 512, BandwidthGBps: 5, MaxCXLShare: 0.5},
+		}},
+		{"bandwidth-bound (LLM-like)", []planner.WorkloadClass{
+			{Name: "llm", Count: 40, WorkingSetGB: 16, BandwidthGBps: 30, MaxCXLShare: 1},
+		}},
+		{"latency-critical", []planner.WorkloadClass{
+			{Name: "ultra", Count: 8, WorkingSetGB: 256, BandwidthGBps: 10, MaxCXLShare: 0},
+		}},
+		{"mixed", []planner.WorkloadClass{
+			{Name: "keydb", Count: 6, WorkingSetGB: 512, BandwidthGBps: 5, MaxCXLShare: 0.5},
+			{Name: "llm", Count: 10, WorkingSetGB: 16, BandwidthGBps: 25, MaxCXLShare: 1},
+			{Name: "ultra", Count: 3, WorkingSetGB: 64, BandwidthGBps: 8, MaxCXLShare: 0},
+		}},
+	}
+	for _, f := range fleets {
+		plan, err := planner.Optimize(f.classes, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: planning %s: %w", f.name, err)
+		}
+		rep.AddRow(f.name, plan.Shape.Name,
+			fmt.Sprintf("%d", plan.Servers),
+			fmt.Sprintf("%.2f", plan.CostUnits),
+			fmt.Sprintf("%.0f", plan.DRAMUsedGB),
+			fmt.Sprintf("%.0f", plan.CXLUsedGB))
+	}
+	rep.AddNote("capacity- and bandwidth-bound fleets pick CXL shapes; latency-critical fleets stay on the baseline")
+	return rep, nil
+}

@@ -1,0 +1,151 @@
+// Package core is cxlsim's top-level experiment facade: it builds the
+// paper's testbed out of the substrate packages, runs any of the paper's
+// figures/tables by ID, and renders the same rows/series the paper
+// reports. The cmd/cxlbench binary, the examples, and the root-level
+// benchmarks all drive this package.
+package core
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Report is one regenerated figure or table.
+type Report struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// AddNote appends a footnote shown under the table.
+func (r *Report) AddNote(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// WriteTable renders the report as an aligned text table.
+func (r *Report) WriteTable(w io.Writer) {
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(r.Headers)
+	sep := make([]string, len(r.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteCSV renders the report as CSV (headers first; notes as trailing
+// comment lines).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Headers); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "# %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks op counts and sweeps for fast smoke runs (unit
+	// tests, CI); full fidelity is the default.
+	Quick bool
+	// Seed drives all workload randomness (0 ⇒ 42).
+	Seed int64
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return 42
+	}
+	return o.Seed
+}
+
+// Runner is an experiment generator.
+type Runner func(Options) (*Report, error)
+
+// registry maps experiment IDs to runners; populated in experiments.go.
+var registry = map[string]Runner{}
+
+// Experiments lists the available experiment IDs, sorted.
+func Experiments() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, opt Options) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
+	}
+	return r(opt)
+}
+
+// RunAll executes every registered experiment in sorted ID order.
+func RunAll(opt Options) ([]*Report, error) {
+	var out []*Report
+	for _, id := range Experiments() {
+		rep, err := Run(id, opt)
+		if err != nil {
+			return out, fmt.Errorf("core: running %s: %w", id, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperWorkedExample(t *testing.T) {
+	// §6: Rd=10, Rc=8, C=2 ⇒ N_cxl/N_baseline = 67.29%; with Rt=1.1 the
+	// TCO saving is 25.98%.
+	p := PaperExample()
+	ratio, err := p.ServerRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ratio-0.6729) > 0.0001 {
+		t.Errorf("server ratio = %.4f, paper reports 0.6729", ratio)
+	}
+	saving, err := p.TCOSaving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(saving-0.2598) > 0.0001 {
+		t.Errorf("TCO saving = %.4f, paper reports 0.2598", saving)
+	}
+}
+
+func TestServerReduction(t *testing.T) {
+	// "we may reduce the number of servers by 32.71%."
+	ratio, _ := PaperExample().ServerRatio()
+	if red := 1 - ratio; math.Abs(red-0.3271) > 0.0001 {
+		t.Errorf("server reduction = %.4f, want 0.3271", red)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	bad := []Params{
+		{Rd: 0.5, Rc: 0.4, C: 1, Rt: 1},
+		{Rd: 10, Rc: 0.5, C: 1, Rt: 1},
+		{Rd: 5, Rc: 8, C: 1, Rt: 1}, // CXL faster than DRAM
+		{Rd: 10, Rc: 8, C: 0, Rt: 1},
+		{Rd: 10, Rc: 8, C: 1, Rt: 0},
+		{Rd: 10, Rc: 8, C: 1, Rt: 1, FixedCostFrac: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: want validation error", i)
+		}
+		if _, err := p.ServerRatio(); err == nil {
+			t.Errorf("case %d: ServerRatio should propagate validation error", i)
+		}
+	}
+}
+
+func TestFixedCostsReduceSaving(t *testing.T) {
+	base, _ := PaperExample().TCOSaving()
+	withFixed := PaperExample()
+	withFixed.FixedCostFrac = 0.05
+	s, err := withFixed.TCOSaving()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(base-s-0.05) > 1e-9 {
+		t.Fatalf("fixed costs should subtract exactly: %v vs %v", base, s)
+	}
+}
+
+func TestTimesConsistentWithRatio(t *testing.T) {
+	// The server ratio must equate T_baseline and T_cxl for working
+	// sets larger than cluster memory.
+	p := PaperExample()
+	ratio, _ := p.ServerRatio()
+	const (
+		w = 1000.0
+		d = 10.0
+		n = 20.0
+	)
+	tb := p.BaselineTime(w, d, n)
+	tc := p.CXLTime(w, d, n*ratio)
+	if math.Abs(tb-tc)/tb > 1e-9 {
+		t.Fatalf("T_baseline=%v != T_cxl=%v at the model's server ratio", tb, tc)
+	}
+}
+
+func TestTimesClampAtWorkingSet(t *testing.T) {
+	p := PaperExample()
+	// Everything fits in memory: time = W/Rd, no SSD segment.
+	if tb := p.BaselineTime(100, 10, 50); math.Abs(tb-100.0/p.Rd) > 1e-9 {
+		t.Fatalf("fully-cached baseline time = %v, want %v", tb, 100.0/p.Rd)
+	}
+	// CXL server with more memory than W: no CXL or SSD segment either.
+	if tc := p.CXLTime(100, 200, 1); math.Abs(tc-100.0/p.Rd) > 1e-9 {
+		t.Fatalf("fully-cached CXL time = %v", tc)
+	}
+}
+
+func TestDegenerateDenominator(t *testing.T) {
+	// Rc barely above 1 with small Rd can make the denominator
+	// non-positive → ErrNoAdvantage rather than a garbage ratio.
+	p := Params{Rd: 1.05, Rc: 1.01, C: 0.01, Rt: 1}
+	if _, err := p.ServerRatio(); err == nil {
+		t.Log("configuration unexpectedly valid; checking positivity instead")
+		r, _ := p.ServerRatio()
+		if r <= 0 {
+			t.Fatal("non-positive ratio returned without error")
+		}
+	}
+}
+
+func TestSweep(t *testing.T) {
+	pts := PaperExample().Sweep([]float64{0.5, 1, 2, 4, 8})
+	if len(pts) != 5 {
+		t.Fatalf("want 5 sweep points")
+	}
+	// More CXL per server (smaller C) means fewer servers needed:
+	// server ratio should increase with C.
+	for i := 1; i < len(pts); i++ {
+		if !pts[i].Valid || !pts[i-1].Valid {
+			continue
+		}
+		if pts[i].ServerRatio <= pts[i-1].ServerRatio {
+			t.Errorf("server ratio should grow with C: %v", pts)
+		}
+	}
+}
+
+// Property: for valid parameter ranges, the server ratio is in (0, 1] —
+// a CXL server never needs MORE servers than baseline under this model —
+// and TCO saving is bounded above by 1.
+func TestPropertyRatioBounds(t *testing.T) {
+	f := func(rdRaw, rcRaw, cRaw uint8) bool {
+		rd := 2 + float64(rdRaw%50)   // 2..51
+		rc := 1.5 + float64(rcRaw%40) // 1.5..41.5
+		if rc > rd {
+			rc = rd
+		}
+		c := 0.25 * float64(1+cRaw%32) // 0.25..8
+		p := Params{Rd: rd, Rc: rc, C: c, Rt: 1}
+		ratio, err := p.ServerRatio()
+		if err != nil {
+			return true // degenerate params may error; that's fine
+		}
+		if ratio <= 0 || ratio > 1+1e-9 {
+			return false
+		}
+		s, err := p.TCOSaving()
+		return err == nil && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkServerRatio(b *testing.B) {
+	p := PaperExample()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.ServerRatio(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

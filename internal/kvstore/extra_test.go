@@ -1,0 +1,206 @@
+package kvstore
+
+import (
+	"testing"
+
+	"cxlsim/internal/topology"
+	"cxlsim/internal/vmm"
+	"cxlsim/internal/workload"
+)
+
+// TestLatencyCDFShape validates the data behind Fig. 5(c)/Fig. 8(a):
+// CDFs are monotone, end at 1, and the CXL-bound store's read CDF sits to
+// the right of the MMEM-bound one.
+func TestLatencyCDFShape(t *testing.T) {
+	run := func(pick func(*topology.Machine) []*topology.Node) Result {
+		m := topology.Testbed()
+		alloc := vmm.NewAllocator(m)
+		st, err := NewStore(m, alloc, StoreConfig{
+			WorkingSetBytes: 100 << 30, SimKeys: 1 << 14, MaxMemoryFrac: 1,
+			Policy: vmm.Bind{Nodes: pick(m)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Run(st, alloc, RunConfig{Mix: workload.YCSBC, Ops: 10_000, Seed: 5})
+	}
+	mmem := run(func(m *topology.Machine) []*topology.Node { return m.DRAMNodes(0) })
+	cxl := run(func(m *topology.Machine) []*topology.Node { return m.CXLNodes() })
+
+	for _, r := range []Result{mmem, cxl} {
+		cdf := r.ReadLatency.CDF()
+		if len(cdf) < 5 {
+			t.Fatalf("CDF too coarse: %d points", len(cdf))
+		}
+		prev := 0.0
+		for _, p := range cdf {
+			if p.Fraction < prev {
+				t.Fatal("CDF not monotone")
+			}
+			prev = p.Fraction
+		}
+		if prev < 0.999 {
+			t.Fatalf("CDF ends at %v", prev)
+		}
+	}
+	// Right shift: at the MMEM median, the CXL CDF has lower mass.
+	med := mmem.ReadLatency.Percentile(50)
+	cxlMassAtMed := 0.0
+	for _, p := range cxl.ReadLatency.CDF() {
+		if p.Value <= med {
+			cxlMassAtMed = p.Fraction
+		}
+	}
+	if cxlMassAtMed >= 0.5 {
+		t.Fatalf("CXL CDF mass at MMEM median = %.2f, want < 0.5 (right-shifted)", cxlMassAtMed)
+	}
+}
+
+// TestYCSBDInsertsOnSSDConfig: the latest-distribution workload keeps
+// reading fresh inserts; with Flash, fresh inserts are resident so the
+// hit rate stays high despite the churn.
+func TestYCSBDOnFlash(t *testing.T) {
+	d, err := Deploy(ConfMMEMSSD02, DeployOptions{SimKeys: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := d.RunConfigFor(workload.YCSBD, 13)
+	rc.Ops = 10_000
+	res := Run(d.Store, d.Alloc, rc)
+	if res.HitRate < 0.8 {
+		t.Fatalf("YCSB-D hit rate = %.3f; fresh inserts should stay resident", res.HitRate)
+	}
+	if res.ThroughputOpsPerSec <= 0 {
+		t.Fatal("no throughput")
+	}
+}
+
+// TestDegradedCXLSlowsCXLBoundStore: failure injection propagates through
+// the store's service times.
+func TestDegradedCXLSlowsCXLBoundStore(t *testing.T) {
+	run := func(degrade bool) float64 {
+		m := topology.Testbed()
+		if degrade {
+			for _, n := range m.CXLNodes() {
+				n.Resource().Degrade(0.5, 2)
+			}
+		}
+		alloc := vmm.NewAllocator(m)
+		st, err := NewStore(m, alloc, StoreConfig{
+			WorkingSetBytes: 100 << 30, SimKeys: 1 << 14, MaxMemoryFrac: 1,
+			Policy: vmm.Bind{Nodes: m.CXLNodes()},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Run(st, alloc, RunConfig{Mix: workload.YCSBC, Ops: 8_000, Seed: 5}).ThroughputOpsPerSec
+	}
+	healthy, degraded := run(false), run(true)
+	if degraded >= healthy {
+		t.Fatalf("degraded CXL throughput %v should trail healthy %v", degraded, healthy)
+	}
+}
+
+// TestServerThreadScaling: more server threads raise throughput until the
+// client count binds.
+func TestServerThreadScaling(t *testing.T) {
+	run := func(threads int) float64 {
+		d, err := Deploy(ConfMMEM, fastOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc := d.RunConfigFor(workload.YCSBC, 3)
+		rc.Ops = 8_000
+		rc.ServerThreads = threads
+		return Run(d.Store, d.Alloc, rc).ThroughputOpsPerSec
+	}
+	t7, t14 := run(7), run(14)
+	if t14 <= t7*1.5 {
+		t.Fatalf("doubling server threads: %v -> %v, want near-linear gain", t7, t14)
+	}
+}
+
+// TestWarmIdempotentForStaticConfigs: Warm is a no-op without a daemon.
+func TestWarmIdempotentForStaticConfigs(t *testing.T) {
+	d, err := Deploy(ConfInter11, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := d.Store.Space().NodeShare()
+	d.Warm(workload.YCSBA, 50, 10_000, 1)
+	after := d.Store.Space().NodeShare()
+	for n, f := range before {
+		if after[n] != f {
+			t.Fatal("Warm moved pages without a daemon")
+		}
+	}
+}
+
+// TestLSMFlashEngine: the structural LSM behind the Flash path produces
+// the same qualitative result as the analytic model (SSD config slower
+// than MMEM, high hit rate) while exposing real tree dynamics.
+func TestLSMFlashEngine(t *testing.T) {
+	m := topology.Testbed()
+	alloc := vmm.NewAllocator(m)
+	st, err := NewStore(m, alloc, StoreConfig{
+		WorkingSetBytes: 512 << 30, SimKeys: 1 << 14,
+		MaxMemoryFrac: 0.6, Flash: true, UseLSM: true,
+		Policy: vmm.Bind{Nodes: m.DRAMNodes(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(st, alloc, RunConfig{Mix: workload.YCSBA, Ops: 10_000, Seed: 5})
+	if res.ThroughputOpsPerSec <= 0 {
+		t.Fatal("no throughput")
+	}
+	stats := st.LSMStats()
+	if stats.TotalSSTBytes == 0 {
+		t.Fatal("LSM tree should hold the persisted keyspace")
+	}
+	if stats.WriteAmp < 1 {
+		t.Fatalf("write amp = %v, want ≥1", stats.WriteAmp)
+	}
+	// Same qualitative conclusion as the analytic model: well below the
+	// all-MMEM configuration.
+	mm := topology.Testbed()
+	mmAlloc := vmm.NewAllocator(mm)
+	mmSt, err := NewStore(mm, mmAlloc, StoreConfig{
+		WorkingSetBytes: 512 << 30, SimKeys: 1 << 14, MaxMemoryFrac: 1,
+		Policy: vmm.Bind{Nodes: mm.DRAMNodes(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Run(mmSt, mmAlloc, RunConfig{Mix: workload.YCSBA, Ops: 10_000, Seed: 5})
+	slow := base.ThroughputOpsPerSec / res.ThroughputOpsPerSec
+	if slow < 1.3 || slow > 3.5 {
+		t.Fatalf("LSM-flash slowdown = %.2f, want the SSD-config band", slow)
+	}
+}
+
+func TestLSMStatsNilSafe(t *testing.T) {
+	d, err := Deploy(ConfMMEM, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d.Store.LSMStats(); s.TotalSSTBytes != 0 {
+		t.Fatal("non-LSM store should report zero stats")
+	}
+}
+
+func TestResultP99Accessor(t *testing.T) {
+	d, err := Deploy(ConfMMEM, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := d.RunConfigFor(workload.YCSBC, 3)
+	rc.Ops = 2_000
+	res := Run(d.Store, d.Alloc, rc)
+	if res.P99Ms() <= 0 {
+		t.Fatal("P99Ms should be positive")
+	}
+	if res.P99Ms() != res.Latency.Percentile(99)/1e6 {
+		t.Fatal("P99Ms accessor inconsistent")
+	}
+}

@@ -1,0 +1,339 @@
+package kvstore
+
+import (
+	"fmt"
+
+	"cxlsim/internal/sim"
+	"cxlsim/internal/stats"
+	"cxlsim/internal/tiering"
+	"cxlsim/internal/topology"
+	"cxlsim/internal/vmm"
+	"cxlsim/internal/workload"
+)
+
+// OpSource produces the operation stream for a run; workload.YCSB and
+// trace.Replayer both implement it.
+type OpSource interface {
+	Next() workload.Op
+}
+
+// RunConfig drives one YCSB run against a store (§4.1.1 methodology: a
+// YCSB client on the baseline server issues closed-loop requests over the
+// 100 Gbps network to a KeyDB instance with seven server-threads).
+type RunConfig struct {
+	Mix           workload.YCSBMix
+	ClientThreads int // closed-loop YCSB client threads (default 32)
+	ServerThreads int // KeyDB server-threads (default 7, §4.1.1)
+	Ops           int // measured operations (default 50_000)
+	WarmupOps     int // operations before measurement (default Ops/4)
+	Seed          int64
+	NetworkRTTNs  float64 // client↔server round trip (default 10 µs)
+
+	// Source overrides the YCSB generator with an arbitrary operation
+	// stream (e.g. a trace.Replayer); Mix is then only used for cache
+	// warming.
+	Source OpSource
+
+	// Daemon, with its Tiers, enables kernel page placement during the
+	// run (the Hot-Promote configuration).
+	Daemon tiering.Daemon
+	Tiers  tiering.Tiers
+
+	EpochNs float64 // co-simulation epoch (default 10 ms)
+}
+
+func (rc *RunConfig) fill() {
+	if rc.ClientThreads == 0 {
+		rc.ClientThreads = 32
+	}
+	if rc.ServerThreads == 0 {
+		rc.ServerThreads = 7
+	}
+	if rc.Ops == 0 {
+		rc.Ops = 50_000
+	}
+	if rc.WarmupOps == 0 {
+		rc.WarmupOps = rc.Ops / 4
+	}
+	if rc.NetworkRTTNs == 0 {
+		rc.NetworkRTTNs = 10_000
+	}
+	if rc.EpochNs == 0 {
+		rc.EpochNs = 10e6
+	}
+	if rc.ClientThreads < 1 || rc.ServerThreads < 1 || rc.Ops < 1 {
+		panic(fmt.Sprintf("kvstore: invalid run config %+v", *rc))
+	}
+}
+
+// Result is one YCSB run's measurements.
+type Result struct {
+	Config              string
+	Workload            string
+	ThroughputOpsPerSec float64
+	// Latency is the client-observed op latency (queue + service + RTT).
+	Latency *stats.Histogram
+	// ReadLatency covers reads only (Fig. 8(a)'s CDF).
+	ReadLatency *stats.Histogram
+	HitRate     float64
+	Migrated    uint64 // total page-migration traffic, bytes
+}
+
+// P99Ms is a convenience accessor for tail-latency tables (Fig. 5(b)).
+func (r Result) P99Ms() float64 { return r.Latency.Percentile(99) / 1e6 }
+
+// Run executes one YCSB workload against the store, returning measured
+// throughput and latency distributions. It is a discrete-event
+// simulation: closed-loop clients feed a FIFO dispatch queue served by
+// ServerThreads workers whose service times come from the store's cost
+// model under the current epoch's loaded memory latencies.
+func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
+	rc.fill()
+	eng := sim.NewEngine()
+	store.WarmCache(rc.Mix, 4*store.cfg.SimKeys, rc.Seed+991)
+	var gen OpSource = rc.Source
+	if gen == nil {
+		gen = workload.NewYCSB(rc.Mix, uint64(store.cfg.SimKeys), rc.Seed)
+	}
+
+	res := Result{
+		Workload:    rc.Mix.Name,
+		Latency:     stats.NewLatencyHistogram(),
+		ReadLatency: stats.NewLatencyHistogram(),
+	}
+
+	type pending struct {
+		op    workload.Op
+		issue sim.Time
+	}
+	var queue []pending
+	free := rc.ServerThreads
+	totalOps := rc.Ops + rc.WarmupOps
+	completed := 0
+	var measureStart sim.Time
+	var measuredOps int
+
+	var dispatch func(now sim.Time)
+	complete := func(p pending, now sim.Time) {
+		free++
+		completed++
+		if completed == rc.WarmupOps {
+			measureStart = now
+		}
+		if completed > rc.WarmupOps {
+			measuredOps++
+			l := float64(now-p.issue) + rc.NetworkRTTNs
+			res.Latency.Add(l)
+			if p.op.Kind == workload.OpRead {
+				res.ReadLatency.Add(l)
+			}
+		}
+		if completed+len(queue)+(rc.ServerThreads-free) < totalOps {
+			queue = append(queue, pending{op: gen.Next(), issue: now})
+		}
+		dispatch(now)
+	}
+	dispatch = func(now sim.Time) {
+		for free > 0 && len(queue) > 0 {
+			p := queue[0]
+			queue = queue[1:]
+			free--
+			svc := store.ServiceTime(p.op, now)
+			eng.At(now+sim.Time(svc), func(t sim.Time) { complete(p, t) })
+		}
+	}
+
+	// Epoch ticker: resolve memory contention, run the tiering daemon,
+	// age heat.
+	ticker := eng.Every(sim.Time(rc.EpochNs), func(now sim.Time) {
+		if rc.Daemon != nil {
+			rep := rc.Daemon.Tick(now, store.Space(), alloc)
+			res.Migrated += rep.TotalBytes()
+			chargeMigration(store, rc.Tiers, rep)
+		}
+		store.EpochFlows(rc.EpochNs)
+		store.Space().DecayHeat(0.5)
+	})
+
+	for i := 0; i < rc.ClientThreads; i++ {
+		queue = append(queue, pending{op: gen.Next(), issue: 0})
+	}
+	dispatch(0)
+	for completed < totalOps && eng.Step() {
+	}
+	ticker.Stop()
+	end := eng.Now()
+
+	elapsed := float64(end - measureStart)
+	if elapsed > 0 && measuredOps > 0 {
+		res.ThroughputOpsPerSec = float64(measuredOps) / (elapsed / 1e9)
+	}
+	res.HitRate = store.HitRate()
+	return res
+}
+
+// chargeMigration books a tick's migration traffic against the store's
+// epoch accumulators (reads from the source tier, writes to the target).
+func chargeMigration(store *Store, tiers tiering.Tiers, rep tiering.Report) {
+	if len(tiers.Fast) == 0 || len(tiers.Slow) == 0 {
+		return
+	}
+	if rep.PromotedBytes > 0 {
+		store.AddMigrationTraffic(tiers.Slow[0], tiers.Fast[0], float64(rep.PromotedBytes))
+	}
+	if rep.DemotedBytes > 0 {
+		store.AddMigrationTraffic(tiers.Fast[0], tiers.Slow[0], float64(rep.DemotedBytes))
+	}
+}
+
+// --- Table 1 configurations (§4.1.1) ---
+
+// ConfigName identifies a Table-1 system configuration.
+type ConfigName string
+
+// The seven configurations of Table 1.
+const (
+	ConfMMEM       ConfigName = "MMEM"
+	ConfMMEMSSD02  ConfigName = "MMEM-SSD-0.2"
+	ConfMMEMSSD04  ConfigName = "MMEM-SSD-0.4"
+	ConfInter31    ConfigName = "3:1"
+	ConfInter11    ConfigName = "1:1"
+	ConfInter13    ConfigName = "1:3"
+	ConfHotPromote ConfigName = "Hot-Promote"
+)
+
+// Table1Configs lists the configurations in the paper's figure order.
+func Table1Configs() []ConfigName {
+	return []ConfigName{
+		ConfMMEM, ConfMMEMSSD02, ConfMMEMSSD04,
+		ConfInter31, ConfInter11, ConfInter13, ConfHotPromote,
+	}
+}
+
+// Deployment is a fully-built Table-1 configuration ready to run.
+type Deployment struct {
+	Name    ConfigName
+	Machine *topology.Machine
+	Alloc   *vmm.Allocator
+	Store   *Store
+	Daemon  tiering.Daemon
+	Tiers   tiering.Tiers
+}
+
+// DeployOptions sizes a deployment.
+type DeployOptions struct {
+	WorkingSetBytes uint64 // default 512 GB (§4.1.1)
+	SimKeys         int    // default 1<<20
+}
+
+func (o *DeployOptions) fill() {
+	if o.WorkingSetBytes == 0 {
+		o.WorkingSetBytes = 512 << 30
+	}
+	if o.SimKeys == 0 {
+		o.SimKeys = 1 << 20
+	}
+}
+
+// Deploy builds one Table-1 configuration on a fresh testbed machine
+// (SNC disabled, as in §4.1.1).
+func Deploy(name ConfigName, opts DeployOptions) (*Deployment, error) {
+	opts.fill()
+	m := topology.Testbed()
+	alloc := vmm.NewAllocator(m)
+	dram := m.DRAMNodes(0) // server threads and memory on socket 0
+	cxl := m.CXLNodes()
+	allDRAM := append(append([]*topology.Node{}, dram...), m.DRAMNodes(1)...)
+
+	cfg := StoreConfig{
+		WorkingSetBytes: opts.WorkingSetBytes,
+		SimKeys:         opts.SimKeys,
+		MaxMemoryFrac:   1,
+	}
+	d := &Deployment{Name: name, Machine: m, Alloc: alloc}
+
+	switch name {
+	case ConfMMEM:
+		cfg.Policy = vmm.Bind{Nodes: allDRAM}
+	case ConfMMEMSSD02:
+		cfg.MaxMemoryFrac, cfg.Flash = 0.8, true
+		cfg.Policy = vmm.Bind{Nodes: allDRAM}
+	case ConfMMEMSSD04:
+		cfg.MaxMemoryFrac, cfg.Flash = 0.6, true
+		cfg.Policy = vmm.Bind{Nodes: allDRAM}
+	case ConfInter31:
+		cfg.Policy = vmm.InterleaveNM{Top: allDRAM, Low: cxl, N: 3, M: 1}
+	case ConfInter11:
+		cfg.Policy = vmm.InterleaveNM{Top: allDRAM, Low: cxl, N: 1, M: 1}
+	case ConfInter13:
+		cfg.Policy = vmm.InterleaveNM{Top: allDRAM, Low: cxl, N: 1, M: 3}
+	case ConfHotPromote:
+		// §4.1.1: numactl distributes half the dataset to CXL and caps
+		// main-memory usage at half the dataset size; the hot-page
+		// promotion patches then migrate. We cap DRAM by reserving the
+		// remainder before allocating.
+		reserve := vmm.NewSpace(0)
+		capBytes := opts.WorkingSetBytes / 2
+		if err := reserveAllBut(alloc, reserve, dram[0], capBytes); err != nil {
+			return nil, err
+		}
+		cfg.Policy = vmm.InterleaveNM{Top: dram[:1], Low: cxl, N: 1, M: 1}
+		tiers := tiering.Tiers{Fast: dram[:1], Slow: cxl}
+		d.Tiers = tiers
+		d.Daemon = &tiering.HotPromote{
+			Tiers: tiers,
+			// 128 MB per 10 ms epoch ≈ a 12.8 GB/s migration ceiling,
+			// the order of the patch's promote rate limit.
+			RateLimitBytes: 128 << 20,
+			AutoThreshold:  true,
+		}
+	default:
+		return nil, fmt.Errorf("kvstore: unknown configuration %q", name)
+	}
+
+	st, err := NewStore(m, alloc, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: deploying %s: %w", name, err)
+	}
+	d.Store = st
+	return d, nil
+}
+
+// reserveAllBut fills node n except for keep bytes, emulating a cgroup/
+// numactl cap on usable main memory.
+func reserveAllBut(alloc *vmm.Allocator, space *vmm.Space, n *topology.Node, keep uint64) error {
+	if n.Capacity <= keep {
+		return nil
+	}
+	return alloc.Alloc(space, n.Capacity-keep, vmm.Bind{Nodes: []*topology.Node{n}})
+}
+
+// RunConfigFor builds the standard run configuration for a deployment.
+func (d *Deployment) RunConfigFor(mix workload.YCSBMix, seed int64) RunConfig {
+	return RunConfig{Mix: mix, Seed: seed, Daemon: d.Daemon, Tiers: d.Tiers}
+}
+
+// Warm drives the deployment to its steady state before measurement: it
+// replays epochs of workload heat and daemon ticks without the DES, the
+// way the paper lets each configuration run until placement converges
+// before recording. No-op for daemon-less configurations.
+func (d *Deployment) Warm(mix workload.YCSBMix, epochs, drawsPerEpoch int, seed int64) {
+	if d.Daemon == nil {
+		return
+	}
+	gen := workload.NewYCSB(mix, uint64(d.Store.cfg.SimKeys), seed)
+	space := d.Store.Space()
+	var now sim.Time
+	for e := 0; e < epochs; e++ {
+		now += sim.Millisecond * 10
+		// Same heat weight per op as ServiceTime, so warm-phase heat and
+		// measurement-phase heat are on one scale.
+		weight := d.Store.depth + d.Store.lines
+		for i := 0; i < drawsPerEpoch; i++ {
+			op := gen.Next()
+			space.Touch(d.Store.pageOf(op.Key%uint64(d.Store.cfg.SimKeys)), weight, now)
+		}
+		d.Daemon.Tick(now, space, d.Alloc)
+		space.DecayHeat(0.5)
+	}
+}

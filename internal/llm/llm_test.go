@@ -1,0 +1,179 @@
+package llm
+
+import (
+	"math"
+	"testing"
+)
+
+func rateAt(t *testing.T, c *Cluster, policy string, backends int) float64 {
+	t.Helper()
+	for _, p := range Fig10Policies() {
+		if p.Name == policy {
+			return c.ServingRate(p, backends).TokensPerSec
+		}
+	}
+	t.Fatalf("unknown policy %s", policy)
+	return 0
+}
+
+func TestFig10aLinearScalingBeforeSaturation(t *testing.T) {
+	// §5.2: "Initially, the serving rate improves almost linearly."
+	c := NewCluster()
+	r1 := rateAt(t, c, "MMEM", 1)
+	r4 := rateAt(t, c, "MMEM", 4)
+	if ratio := r4 / r1; ratio < 3.6 || ratio > 4.1 {
+		t.Errorf("1→4 backend scaling = %.2f×, want ≈4×", ratio)
+	}
+}
+
+func TestFig10aMMEMSaturatesAt48Threads(t *testing.T) {
+	// §5.2: "at 48 threads, MMEM bandwidth saturation limits the
+	// serving rate" — and contention degrades it beyond.
+	c := NewCluster()
+	r48 := rateAt(t, c, "MMEM", 4)
+	r60 := rateAt(t, c, "MMEM", 5)
+	if r60 >= r48 {
+		t.Errorf("MMEM rate at 60 threads (%.2f) should fall below 48 threads (%.2f)", r60, r48)
+	}
+}
+
+func TestFig10aInterleave31Surpasses95Pct(t *testing.T) {
+	// §5.2: at 60 threads, 3:1 "significantly surpasses the MMEM-only
+	// approach by 95%".
+	c := NewCluster()
+	gain := rateAt(t, c, "3:1", 5)/rateAt(t, c, "MMEM", 5) - 1
+	if gain < 0.75 || gain > 1.20 {
+		t.Errorf("3:1 gain over MMEM at 60 threads = %.0f%%, want ≈95%%", gain*100)
+	}
+}
+
+func TestFig10aMMEMTrails13Beyond64Threads(t *testing.T) {
+	// §5.2: "operating entirely on main memory is 14% less effective
+	// than a MMEM:CXL ratio of 1:3 beyond 64 threads."
+	c := NewCluster()
+	for _, backends := range []int{6, 7} {
+		deficit := 1 - rateAt(t, c, "MMEM", backends)/rateAt(t, c, "1:3", backends)
+		if deficit < 0.05 || deficit > 0.25 {
+			t.Errorf("MMEM deficit vs 1:3 at %d threads = %.0f%%, want ≈14%%",
+				backends*BackendThreads, deficit*100)
+		}
+	}
+}
+
+func TestFig10aMoreMMEMIsBetterAmongInterleaves(t *testing.T) {
+	// §5.2: "configurations with a higher proportion of data in main
+	// memory demonstrate superior inference performance" (at moderate
+	// load).
+	c := NewCluster()
+	for backends := 1; backends <= 5; backends++ {
+		r31 := rateAt(t, c, "3:1", backends)
+		r11 := rateAt(t, c, "1:1", backends)
+		r13 := rateAt(t, c, "1:3", backends)
+		if !(r31 >= r11 && r11 >= r13) {
+			t.Errorf("backends=%d: want 3:1 (%.2f) ≥ 1:1 (%.2f) ≥ 1:3 (%.2f)", backends, r31, r11, r13)
+		}
+	}
+}
+
+func TestFig10aSweep(t *testing.T) {
+	c := NewCluster()
+	series := c.Fig10a(6)
+	if len(series) != 4 {
+		t.Fatalf("want 4 policies, got %d", len(series))
+	}
+	for name, pts := range series {
+		if len(pts) != 6 {
+			t.Fatalf("%s: want 6 points", name)
+		}
+		for i, p := range pts {
+			if p.Backends != i+1 || p.Threads != (i+1)*BackendThreads {
+				t.Fatalf("%s point %d mislabeled: %+v", name, i, p)
+			}
+			if p.TokensPerSec <= 0 {
+				t.Fatalf("%s point %d: nonpositive rate", name, i)
+			}
+		}
+	}
+}
+
+func TestFig10bBackendBandwidth(t *testing.T) {
+	c := NewCluster()
+	// Linear growth at low thread counts…
+	b4, b8 := c.BackendBandwidth(4), c.BackendBandwidth(8)
+	if r := b8 / b4; math.Abs(r-2) > 0.1 {
+		t.Errorf("4→8 thread bandwidth scaling = %.2f, want ≈2", r)
+	}
+	// …12 threads ≈ 13.5 GB/s (the per-backend operating point)…
+	if b12 := c.BackendBandwidth(12); math.Abs(b12-13.5) > 0.7 {
+		t.Errorf("bandwidth at 12 threads = %.1f, want ≈13.5", b12)
+	}
+	// …plateau at 24.2 GB/s for 24 threads (§5.2).
+	b24 := c.BackendBandwidth(24)
+	if math.Abs(b24-24.2) > 0.5 {
+		t.Errorf("bandwidth at 24 threads = %.1f, want ≈24.2", b24)
+	}
+	if b48 := c.BackendBandwidth(48); b48 > b24+0.01 {
+		t.Errorf("bandwidth must plateau: 48 threads = %.1f > 24 threads = %.1f", b48, b24)
+	}
+}
+
+func TestFig10cKVCacheBandwidth(t *testing.T) {
+	c := NewCluster()
+	// §5.2: "The initial memory bandwidth of approximately 12 GB/s
+	// originates from I/O threads loading the model."
+	if b0 := c.KVCacheBandwidth(0); math.Abs(b0-12) > 0.5 {
+		t.Errorf("bandwidth at empty KV cache = %.1f, want ≈12", b0)
+	}
+	// Initially increases roughly linearly with cache size.
+	b1, b2 := c.KVCacheBandwidth(0.5e9), c.KVCacheBandwidth(1e9)
+	if (b2 - 12) <= (b1-12)*1.5 {
+		t.Errorf("KV traffic should grow near-linearly early: %.2f vs %.2f", b1, b2)
+	}
+	// "bandwidth utilization stops increasing beyond roughly 21 GB/s."
+	b64 := c.KVCacheBandwidth(64e9)
+	if b64 < 19.5 || b64 > 21.5 {
+		t.Errorf("asymptotic KV bandwidth = %.1f, want ≈21", b64)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for kv := 0.0; kv <= 32e9; kv += 1e9 {
+		b := c.KVCacheBandwidth(kv)
+		if b < prev {
+			t.Fatalf("bandwidth decreased at kv=%.0f", kv)
+		}
+		prev = b
+	}
+}
+
+func TestPanicsOnBadInputs(t *testing.T) {
+	c := NewCluster()
+	for name, f := range map[string]func(){
+		"backends": func() { c.ServingRate(Fig10Policies()[0], 0) },
+		"threads":  func() { c.BackendBandwidth(0) },
+		"kv":       func() { c.KVCacheBandwidth(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPoliciesShape(t *testing.T) {
+	ps := Fig10Policies()
+	if len(ps) != 4 || ps[0].Name != "MMEM" || ps[0].LowM != 0 {
+		t.Fatalf("unexpected policy set: %+v", ps)
+	}
+}
+
+func BenchmarkServingRate(b *testing.B) {
+	c := NewCluster()
+	p := Fig10Policies()[1]
+	for i := 0; i < b.N; i++ {
+		c.ServingRate(p, 5)
+	}
+}

@@ -1,0 +1,22 @@
+package llm
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestConcurrentServingRateRace(t *testing.T) {
+	c := NewCluster()
+	p := Fig10Policies()[1]
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c.ServingRate(p, 3)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,144 @@
+// Package llmserve realizes the paper's Fig. 9 serving architecture as a
+// real HTTP service over the simulated cluster: an HTTP frontend receives
+// tokenized requests, a router distributes them across CPU inference
+// backends, and each backend's token timing comes from the llm model
+// under the current memory placement.
+//
+// The service answers in wall-clock time but reports *virtual* latencies:
+// it is a functional demonstration of the stack (useful for driving the
+// simulator from external tooling), not a wall-clock benchmark.
+package llmserve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"cxlsim/internal/llm"
+)
+
+// Request is one generation call.
+type Request struct {
+	Prompt    string `json:"prompt"`
+	MaxTokens int    `json:"max_tokens"`
+}
+
+// Response reports the simulated generation.
+type Response struct {
+	Backend          int     `json:"backend"`
+	Tokens           int     `json:"tokens"`
+	VirtualLatencyMs float64 `json:"virtual_latency_ms"`
+	TokensPerSec     float64 `json:"tokens_per_sec"`
+	Policy           string  `json:"policy"`
+}
+
+// Server is the Fig. 9 stack: frontend + router + n backends.
+type Server struct {
+	cluster  *llm.Cluster
+	policy   llm.Policy
+	backends int
+
+	next      atomic.Uint64 // round-robin router cursor
+	mu        sync.Mutex
+	served    uint64
+	tokens    uint64
+	virtualNs float64
+}
+
+// New builds a server with n backends under a placement policy.
+func New(c *llm.Cluster, policy llm.Policy, backends int) *Server {
+	if backends < 1 {
+		panic("llmserve: need at least one backend")
+	}
+	return &Server{cluster: c, policy: policy, backends: backends}
+}
+
+// Handler returns the HTTP mux: POST /generate and GET /metrics.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/generate", s.handleGenerate)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.MaxTokens <= 0 {
+		req.MaxTokens = 64
+	}
+	if req.MaxTokens > 4096 {
+		http.Error(w, "max_tokens too large", http.StatusBadRequest)
+		return
+	}
+
+	// Route: round-robin across backends (the paper's router).
+	backend := int(s.next.Add(1)-1) % s.backends
+
+	// Steady-state serving rate under the full cluster load determines
+	// this backend's per-token time.
+	sp := s.cluster.ServingRate(s.policy, s.backends)
+	perBackendRate := sp.TokensPerSec / float64(s.backends)
+	virtualNs := float64(req.MaxTokens) / perBackendRate * 1e9
+
+	s.mu.Lock()
+	s.served++
+	s.tokens += uint64(req.MaxTokens)
+	s.virtualNs += virtualNs
+	s.mu.Unlock()
+
+	resp := Response{
+		Backend:          backend,
+		Tokens:           req.MaxTokens,
+		VirtualLatencyMs: virtualNs / 1e6,
+		TokensPerSec:     perBackendRate,
+		Policy:           s.policy.Name,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		// Client went away mid-write; nothing recoverable.
+		return
+	}
+}
+
+// Metrics is the /metrics payload.
+type Metrics struct {
+	Requests       uint64  `json:"requests"`
+	Tokens         uint64  `json:"tokens"`
+	Backends       int     `json:"backends"`
+	Policy         string  `json:"policy"`
+	MeanVirtualMs  float64 `json:"mean_virtual_ms"`
+	ClusterTokRate float64 `json:"cluster_tokens_per_sec"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	m := Metrics{
+		Requests: s.served,
+		Tokens:   s.tokens,
+		Backends: s.backends,
+		Policy:   s.policy.Name,
+	}
+	if s.served > 0 {
+		m.MeanVirtualMs = s.virtualNs / float64(s.served) / 1e6
+	}
+	s.mu.Unlock()
+	m.ClusterTokRate = s.cluster.ServingRate(s.policy, s.backends).TokensPerSec
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(m); err != nil {
+		return
+	}
+}

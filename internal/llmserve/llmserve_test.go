@@ -1,0 +1,163 @@
+package llmserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"cxlsim/internal/llm"
+)
+
+func newTestServer(t *testing.T, policyIdx, backends int) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(llm.NewCluster(), llm.Fig10Policies()[policyIdx], backends)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func generate(t *testing.T, ts *httptest.Server, body string) (*http.Response, Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/generate", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	var out Response
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, out
+}
+
+func TestGenerateEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t, 0, 4)
+	resp, out := generate(t, ts, `{"prompt":"hello","max_tokens":32}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if out.Tokens != 32 || out.Policy != "MMEM" {
+		t.Fatalf("response = %+v", out)
+	}
+	if out.VirtualLatencyMs <= 0 || out.TokensPerSec <= 0 {
+		t.Fatalf("non-positive timing: %+v", out)
+	}
+	// 32 tokens at the reported rate must equal the reported latency.
+	wantMs := float64(out.Tokens) / out.TokensPerSec * 1e3
+	if diff := out.VirtualLatencyMs - wantMs; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("latency %v inconsistent with rate (want %v)", out.VirtualLatencyMs, wantMs)
+	}
+}
+
+func TestRouterRoundRobins(t *testing.T) {
+	_, ts := newTestServer(t, 0, 3)
+	seen := map[int]bool{}
+	for i := 0; i < 6; i++ {
+		_, out := generate(t, ts, `{"max_tokens":8}`)
+		seen[out.Backend] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("router used %d of 3 backends", len(seen))
+	}
+}
+
+func TestPlacementPolicyChangesLatency(t *testing.T) {
+	// Under light load MMEM beats 1:3 per token (idle-latency-bound).
+	_, tsMMEM := newTestServer(t, 0, 2)
+	_, ts13 := newTestServer(t, 3, 2)
+	_, a := generate(t, tsMMEM, `{"max_tokens":64}`)
+	_, b := generate(t, ts13, `{"max_tokens":64}`)
+	if a.VirtualLatencyMs >= b.VirtualLatencyMs {
+		t.Fatalf("MMEM latency %v should beat 1:3 %v at light load", a.VirtualLatencyMs, b.VirtualLatencyMs)
+	}
+}
+
+func TestDefaultsAndErrors(t *testing.T) {
+	_, ts := newTestServer(t, 0, 1)
+	// Default token count.
+	_, out := generate(t, ts, `{}`)
+	if out.Tokens != 64 {
+		t.Fatalf("default tokens = %d, want 64", out.Tokens)
+	}
+	// Bad JSON.
+	resp, _ := generate(t, ts, `{nope`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad JSON status = %d", resp.StatusCode)
+	}
+	// Oversized request.
+	resp, _ = generate(t, ts, `{"max_tokens":100000}`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized status = %d", resp.StatusCode)
+	}
+	// Wrong method.
+	getResp, err := http.Get(ts.URL + "/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /generate status = %d", getResp.StatusCode)
+	}
+}
+
+func TestMetrics(t *testing.T) {
+	_, ts := newTestServer(t, 1, 2)
+	for i := 0; i < 5; i++ {
+		generate(t, ts, `{"max_tokens":10}`)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests != 5 || m.Tokens != 50 {
+		t.Fatalf("metrics = %+v", m)
+	}
+	if m.Policy != "3:1" || m.Backends != 2 {
+		t.Fatalf("metrics identity = %+v", m)
+	}
+	if m.MeanVirtualMs <= 0 || m.ClusterTokRate <= 0 {
+		t.Fatalf("metrics timing = %+v", m)
+	}
+}
+
+func TestConcurrentRequests(t *testing.T) {
+	s, ts := newTestServer(t, 0, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/generate", "application/json",
+				bytes.NewBufferString(`{"max_tokens":4}`))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	s.mu.Lock()
+	served := s.served
+	s.mu.Unlock()
+	if served != 32 {
+		t.Fatalf("served %d of 32 concurrent requests", served)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero backends should panic")
+		}
+	}()
+	New(llm.NewCluster(), llm.Fig10Policies()[0], 0)
+}

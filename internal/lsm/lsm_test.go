@@ -1,0 +1,246 @@
+package lsm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallTree() *Tree {
+	return New(Config{
+		MemtableBytes:   64 << 10, // 64 KB for fast flushes in tests
+		BlockCacheBytes: 256 << 10,
+		Seed:            1,
+	})
+}
+
+func TestPutAccumulatesAndFlushes(t *testing.T) {
+	tr := smallTree()
+	flushed := false
+	for k := uint64(0); k < 200; k++ {
+		c := tr.Put(k, 1024)
+		if c.WALBytes < 1024 {
+			t.Fatalf("WAL bytes %d below value size", c.WALBytes)
+		}
+		flushed = flushed || c.Flushed
+	}
+	if !flushed {
+		t.Fatal("200 KB of puts through a 64 KB memtable must flush")
+	}
+	r, w := tr.DrainIO()
+	if w == 0 {
+		t.Fatal("flush should emit write I/O")
+	}
+	_ = r
+	// Drain is destructive.
+	if r2, w2 := tr.DrainIO(); r2 != 0 || w2 != 0 {
+		t.Fatal("second drain should be empty")
+	}
+}
+
+func TestMemtableGetIsFree(t *testing.T) {
+	tr := smallTree()
+	tr.Put(42, 100)
+	c := tr.Get(42)
+	if !c.Memtable || c.SSDReads != 0 {
+		t.Fatalf("memtable-resident get cost = %+v", c)
+	}
+}
+
+func TestGetAfterFlushReadsBlocks(t *testing.T) {
+	tr := New(Config{MemtableBytes: 64 << 10, BlockCacheBytes: 16 << 10, Seed: 1})
+	for k := uint64(0); k < 1000; k++ {
+		tr.Put(k, 1024)
+	}
+	// Most keys are now on disk; a get should cost block reads (cache is
+	// tiny).
+	misses := 0
+	for k := uint64(0); k < 1000; k += 37 {
+		c := tr.Get(k)
+		if !c.Memtable && c.SSDReads > 0 {
+			misses++
+		}
+	}
+	if misses == 0 {
+		t.Fatal("no SSD reads despite a tiny cache")
+	}
+}
+
+func TestBlockCacheAbsorbsHotReads(t *testing.T) {
+	tr := New(Config{MemtableBytes: 64 << 10, BlockCacheBytes: 64 << 20, Seed: 1})
+	for k := uint64(0); k < 2000; k++ {
+		tr.Put(k, 512)
+	}
+	// Re-read a hot key repeatedly: after the first read its block is
+	// cached.
+	first := tr.Get(7)
+	if first.Memtable {
+		t.Skip("key still in memtable; enlarge dataset")
+	}
+	again := tr.Get(7)
+	if again.SSDReads != 0 || again.CacheHits == 0 {
+		t.Fatalf("hot re-read cost = %+v, want pure cache hits", again)
+	}
+	if tr.Stats().CacheHitRate <= 0 {
+		t.Fatal("cache hit rate should be positive")
+	}
+}
+
+func TestCompactionKeepsLevelsSorted(t *testing.T) {
+	tr := smallTree()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20000; i++ {
+		tr.Put(uint64(rng.Intn(1_000_000)), 256)
+	}
+	for li, level := range tr.levels {
+		for i := 1; i < len(level); i++ {
+			if level[i-1].maxKey >= level[i].minKey {
+				t.Fatalf("level %d files overlap: %+v then %+v", li+1, level[i-1], level[i])
+			}
+		}
+	}
+	if s := tr.Stats(); s.L0Files >= tr.cfg.L0CompactFiles {
+		t.Fatalf("L0 backed up: %d files", s.L0Files)
+	}
+}
+
+func TestWriteAmplificationGrows(t *testing.T) {
+	// Write amplification must exceed 1 and grow as data outgrows
+	// single-level capacity — the leveled-compaction signature.
+	tr := smallTree()
+	for k := uint64(0); k < 2000; k++ {
+		tr.Put(k, 512)
+	}
+	early := tr.Stats().WriteAmp
+	for k := uint64(0); k < 100_000; k++ {
+		tr.Put(k%50_000, 512)
+	}
+	late := tr.Stats().WriteAmp
+	if early < 1 && early != 0 {
+		t.Fatalf("early write amp %v below 1", early)
+	}
+	if late <= early {
+		t.Fatalf("write amp should grow with data: %v -> %v", early, late)
+	}
+	if late < 1.5 || late > 40 {
+		t.Fatalf("steady write amp = %v, want a plausible leveled-LSM value", late)
+	}
+}
+
+func TestPointReadAmplificationBounded(t *testing.T) {
+	// With blooms, a point read should touch O(1) blocks on average, not
+	// one per level.
+	tr := New(Config{MemtableBytes: 64 << 10, BlockCacheBytes: 1 << 10, Seed: 3})
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50_000; i++ {
+		tr.Put(uint64(rng.Intn(500_000)), 256)
+	}
+	totalReads := 0
+	const gets = 2000
+	for i := 0; i < gets; i++ {
+		c := tr.Get(uint64(rng.Intn(500_000)))
+		totalReads += c.SSDReads + c.CacheHits
+	}
+	if avg := float64(totalReads) / gets; avg > 2.5 {
+		t.Fatalf("avg blocks touched per get = %.2f, blooms should keep this ≈1", avg)
+	}
+}
+
+func TestDrainIOAccountsCompaction(t *testing.T) {
+	tr := smallTree()
+	var totalW uint64
+	var user uint64
+	for k := uint64(0); k < 50_000; k++ {
+		tr.Put(k%10_000, 512)
+		user += 512
+		_, w := tr.DrainIO()
+		totalW += w
+	}
+	if totalW <= user {
+		t.Fatalf("drained write I/O %d should exceed user bytes %d (write amp)", totalW, user)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{MemtableBytes: 1},
+		{L0CompactFiles: 1},
+		{LevelRatio: 1},
+		{BlockBytes: 8},
+		{BloomFPRate: 1.5},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: no panic", i)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("zero-size put should panic")
+		}
+	}()
+	New(Config{}).Put(1, 0)
+}
+
+func TestStatsShape(t *testing.T) {
+	tr := smallTree()
+	for k := uint64(0); k < 5000; k++ {
+		tr.Put(k, 512)
+	}
+	s := tr.Stats()
+	if s.TotalSSTBytes == 0 {
+		t.Fatal("SST bytes should be positive after flushes")
+	}
+	if len(s.Levels) == 0 {
+		t.Fatal("compaction should have created leveled runs")
+	}
+}
+
+// Property: level files never overlap and L0 stays below its trigger
+// after any put sequence.
+func TestPropertyInvariants(t *testing.T) {
+	f := func(keys []uint16) bool {
+		tr := smallTree()
+		for _, k := range keys {
+			tr.Put(uint64(k), 300)
+		}
+		if len(tr.l0) >= tr.cfg.L0CompactFiles {
+			return false
+		}
+		for _, level := range tr.levels {
+			for i := 1; i < len(level); i++ {
+				if level[i-1].maxKey >= level[i].minKey {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPut(b *testing.B) {
+	tr := New(Config{Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Put(uint64(i%100000), 512)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New(Config{MemtableBytes: 1 << 20, Seed: 1})
+	for k := uint64(0); k < 100_000; k++ {
+		tr.Put(k, 512)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Get(uint64(i % 100_000))
+	}
+}

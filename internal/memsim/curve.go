@@ -1,0 +1,74 @@
+package memsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Curve is a piecewise-linear function of read fraction, used to encode
+// per-mix device characteristics (peak bandwidth, knee utilization) from
+// the paper's measured anchor points.
+type Curve struct {
+	pts []CurvePoint
+}
+
+// CurvePoint is one calibration anchor: at read fraction R the device
+// characteristic has value V.
+type CurvePoint struct {
+	R float64 // read fraction in [0,1]
+	V float64
+}
+
+// NewCurve builds a curve from anchors; they are sorted by R. At least one
+// anchor is required, and R values must be within [0,1] and distinct.
+func NewCurve(pts ...CurvePoint) Curve {
+	if len(pts) == 0 {
+		panic("memsim: curve needs at least one anchor")
+	}
+	sorted := append([]CurvePoint(nil), pts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].R < sorted[j].R })
+	for i, p := range sorted {
+		if p.R < 0 || p.R > 1 {
+			panic(fmt.Sprintf("memsim: curve anchor R=%v outside [0,1]", p.R))
+		}
+		if i > 0 && sorted[i-1].R == p.R {
+			panic(fmt.Sprintf("memsim: duplicate curve anchor at R=%v", p.R))
+		}
+	}
+	return Curve{pts: sorted}
+}
+
+// Flat builds a constant curve.
+func Flat(v float64) Curve { return NewCurve(CurvePoint{R: 0, V: v}) }
+
+// At evaluates the curve at read fraction r, clamping outside the anchor
+// range (no extrapolation: device behaviour beyond measured mixes is
+// unknown, so we hold the nearest measured value).
+func (c Curve) At(r float64) float64 {
+	pts := c.pts
+	if len(pts) == 0 {
+		panic("memsim: evaluating zero curve")
+	}
+	if r <= pts[0].R {
+		return pts[0].V
+	}
+	if r >= pts[len(pts)-1].R {
+		return pts[len(pts)-1].V
+	}
+	// Binary search for the bracketing segment.
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].R >= r })
+	lo, hi := pts[i-1], pts[i]
+	t := (r - lo.R) / (hi.R - lo.R)
+	return lo.V + t*(hi.V-lo.V)
+}
+
+// Max returns the maximum anchor value (useful for capacity planning).
+func (c Curve) Max() float64 {
+	m := c.pts[0].V
+	for _, p := range c.pts[1:] {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}

@@ -1,0 +1,189 @@
+package memsim
+
+// This file encodes the paper's testbed hardware (§2.4, §3) as calibrated
+// resources. All anchor values trace to specific sentences of the paper;
+// values the paper does not report are interpolated and flagged.
+
+// Theoretical channel bandwidth (§3.1): one DDR5-4800 channel peaks at
+// 38.4 GB/s; an SNC-4 sub-NUMA domain has two channels = 76.8 GB/s.
+const (
+	DDR5ChannelPeakGBps = 38.4
+	SNCDomainChannels   = 2
+	SNCDomainPeakGBps   = DDR5ChannelPeakGBps * SNCDomainChannels
+)
+
+// Capacities of the testbed (§2.4).
+const (
+	SNCDomainCapacityBytes = 128 << 30  // 2 × 64 GB DDR5-4800 DIMMs
+	SocketDDRCapacityBytes = 512 << 30  // 4 SNC domains
+	CXLDeviceCapacityBytes = 256 << 30  // one A1000 with 2 channels populated
+	ServerDDRCapacityBytes = 1024 << 30 // two sockets
+	ServerCXLCapacityBytes = 512 << 30  // two A1000 cards, both on socket 0
+)
+
+// NewDDRDomain models one SNC-4 sub-NUMA domain: two DDR5-4800 channels.
+//
+// Anchors (Fig. 3(a)):
+//   - idle read latency ≈ 97 ns;
+//   - read-only peak 67 GB/s (87% of 76.8 theoretical);
+//   - write-only peak 54.6 GB/s;
+//   - latency takes off at 75–83% utilization (knee curve below), with
+//     the knee shifting left as write share grows (§3.3).
+//
+// The idle non-temporal write latency is not separately reported for the
+// local case; we use the remote-socket NT-write measurement (71.77 ns,
+// Fig. 3(b)) as the posted-write service time, since posted writes do not
+// traverse the UPI synchronously.
+func NewDDRDomain(name string) *Resource {
+	return &Resource{
+		Name:      name,
+		IdleRead:  97,
+		IdleWrite: 71.77,
+		Peak: NewCurve(
+			CurvePoint{R: 1, V: 67},
+			CurvePoint{R: 2.0 / 3, V: 63},
+			CurvePoint{R: 0.5, V: 61},
+			CurvePoint{R: 0.25, V: 58},
+			CurvePoint{R: 0, V: 54.6},
+		),
+		Knee: NewCurve(
+			CurvePoint{R: 1, V: 0.83},
+			CurvePoint{R: 0.5, V: 0.79},
+			CurvePoint{R: 0, V: 0.75},
+		),
+		QueueScale: 3, // ~10× idle at full saturation, matching Fig. 3(a)'s log-scale spike
+	}
+}
+
+// NewSocketDDR models a whole socket's eight channels with SNC disabled
+// (the capacity-bound experiments, §4, disable SNC). Idle latency matches
+// the domain model; peak scales by 4 domains.
+func NewSocketDDR(name string) *Resource {
+	r := NewDDRDomain(name)
+	r.Peak = NewCurve(
+		CurvePoint{R: 1, V: 67 * 4},
+		CurvePoint{R: 2.0 / 3, V: 63 * 4},
+		CurvePoint{R: 0.5, V: 61 * 4},
+		CurvePoint{R: 0.25, V: 58 * 4},
+		CurvePoint{R: 0, V: 54.6 * 4},
+	)
+	return r
+}
+
+// NewUPILink models one direction-pair of the cross-socket interconnect.
+//
+// Anchors (Fig. 3(b)):
+//   - remote read idle 130 ns ⇒ UPI adds ≈33 ns over the 97 ns local read;
+//   - remote NT-write idle 71.77 ns ⇒ posted writes add ≈0 ns
+//     synchronously (they "proceed asynchronously without awaiting
+//     confirmation");
+//   - read-only remote peak matches local peak (≈67 GB/s) but mixed
+//     read/write traffic loses bandwidth to cache-coherence traffic, and
+//     write-only traffic is lowest because it exercises only one UPI
+//     direction (§3.2). The write-only peak is not numerically reported;
+//     35 GB/s reproduces "lowest bandwidth" with a severe drop.
+//   - the knee comes earlier than local access ("latency escalation
+//     occurs earlier in remote socket memory accesses"), from queue
+//     contention at the remote memory controller.
+func NewUPILink(name string) *Resource {
+	return &Resource{
+		Name:      name,
+		IdleRead:  33,
+		IdleWrite: 0,
+		Peak: NewCurve(
+			CurvePoint{R: 1, V: 66},
+			CurvePoint{R: 2.0 / 3, V: 55},
+			CurvePoint{R: 0.5, V: 50},
+			CurvePoint{R: 0.25, V: 42},
+			CurvePoint{R: 0, V: 35},
+		),
+		Knee: NewCurve(
+			CurvePoint{R: 1, V: 0.72},
+			CurvePoint{R: 0, V: 0.62},
+		),
+		QueueScale: 14,
+		// Fig. 3(b) 0:1 shows bandwidth *decreasing* as load grows past
+		// saturation; a mild recession term reproduces that fold-back.
+		OverloadRecession: 0.35,
+	}
+}
+
+// NewCXLDevice models one A1000 ASIC expander: PCIe Gen5 ×16 link + CXL
+// controller + two DDR5-4800 channels, as a single resource.
+//
+// Anchors (Fig. 3(c), §3.3):
+//   - idle read latency 250.42 ns (2.58× local DDR, 1.93× remote DDR —
+//     inside the paper's 2.4–2.6× and 1.5–1.92× brackets);
+//   - max bandwidth 56.7 GB/s at a 2:1 read:write mix (73.x% efficiency);
+//   - read-only peak is *lower* than 2:1 because PCIe is full-duplex and
+//     a pure-read stream cannot use the host→device direction for data;
+//   - loaded latency stays comparatively stable until high utilization
+//     ("remains relatively stable as bandwidth increases") — a later
+//     knee and gentler queue scale than DDR.
+//
+// The idle write latency is not reported; posted CXL writes traverse the
+// PCIe link and controller, so we model ≈185 ns (controller + link, no
+// DRAM read turnaround).
+func NewCXLDevice(name string) *Resource {
+	return &Resource{
+		Name:      name,
+		IdleRead:  250.42,
+		IdleWrite: 185,
+		Peak: NewCurve(
+			CurvePoint{R: 1, V: 52},
+			CurvePoint{R: 2.0 / 3, V: 56.7},
+			CurvePoint{R: 0.5, V: 55},
+			CurvePoint{R: 0.25, V: 52.5},
+			CurvePoint{R: 0, V: 50},
+		),
+		Knee: NewCurve(
+			CurvePoint{R: 1, V: 0.88},
+			CurvePoint{R: 0, V: 0.82},
+		),
+		QueueScale: 2, // "relatively stable" loaded latency (Fig. 3(c))
+	}
+}
+
+// NewRSFStage models the Remote Snoop Filter bottleneck on the current
+// Sapphire Rapids platform for cross-socket CXL access (§3.2): idle
+// latency inflates to 485 ns total and bandwidth is clamped near
+// 20.4 GB/s (measured at 2:1) even though UPI utilization stays below
+// 30%. Intel attributes this to the RSF and expects a fix in the next
+// processor generation; ablations can therefore drop this stage to model
+// future platforms.
+//
+// Idle contribution: 485 − 250.42 (device) − 33 (UPI read hop) ≈ 201.6 ns.
+func NewRSFStage(name string) *Resource {
+	return &Resource{
+		Name:      name,
+		IdleRead:  201.6,
+		IdleWrite: 100,
+		Peak: NewCurve(
+			CurvePoint{R: 1, V: 19.5},
+			CurvePoint{R: 2.0 / 3, V: 20.4},
+			CurvePoint{R: 0.5, V: 19.8},
+			CurvePoint{R: 0.25, V: 18.5},
+			CurvePoint{R: 0, V: 17},
+		),
+		Knee:              Flat(0.7),
+		QueueScale:        10,
+		OverloadRecession: 0.3,
+	}
+}
+
+// NewSSDStage models a 1.92 TB NVMe SSD (§2.4) as a memory-path stage for
+// spill traffic. Idle latency ≈ 80 µs reads / 20 µs writes, ~3 GB/s read
+// bandwidth class. Used by the KV-store Flash backend and Spark spill.
+func NewSSDStage(name string) *Resource {
+	return &Resource{
+		Name:      name,
+		IdleRead:  80_000,
+		IdleWrite: 20_000,
+		Peak: NewCurve(
+			CurvePoint{R: 1, V: 3.2},
+			CurvePoint{R: 0, V: 2.4},
+		),
+		Knee:       Flat(0.7),
+		QueueScale: 20,
+	}
+}

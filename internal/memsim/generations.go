@@ -1,0 +1,79 @@
+package memsim
+
+// This file models future interconnect generations for the §7 discussion:
+// CXL 2.0 (PCIe 5.0 + switching) and CXL 3.x (PCIe 6.0, doubled link
+// rate). Device-side DRAM and controller behaviour carry over from the
+// calibrated A1000 model; only link capacity and topology latency change.
+// These are projections, clearly labeled as such — used by ablations and
+// the generation-comparison experiment, never by the paper-reproduction
+// figures.
+
+// NewCXL2Device models a CXL 2.0 expander behind one switch hop: same
+// PCIe 5.0 ×16 link budget as the A1000 but with switch traversal
+// latency (~35 ns each way per the CXL 2.0 switch-latency discussions).
+func NewCXL2Device(name string) *Resource {
+	r := NewCXLDevice(name)
+	r.IdleRead += 70
+	r.IdleWrite += 70
+	return r
+}
+
+// NewCXL3Device models a CXL 3.x expander on PCIe 6.0: doubled link rate
+// (64 GT/s) lifts the PCIe ceiling so the device's four DDR5 channels
+// become the bottleneck; PAM4/FLIT overheads keep efficiency below 2×.
+// Fabric latency replaces the single switch hop.
+func NewCXL3Device(name string) *Resource {
+	r := NewCXLDevice(name)
+	r.IdleRead += 90
+	r.IdleWrite += 90
+	r.Peak = NewCurve(
+		CurvePoint{R: 1, V: 52 * 1.8},
+		CurvePoint{R: 2.0 / 3, V: 56.7 * 1.8},
+		CurvePoint{R: 0.5, V: 55 * 1.8},
+		CurvePoint{R: 0.25, V: 52.5 * 1.8},
+		CurvePoint{R: 0, V: 50 * 1.8},
+	)
+	return r
+}
+
+// GenerationComparison summarizes idle latency and peak bandwidth across
+// device generations at a given mix — the §7 "how do our insights carry
+// forward" table.
+type GenerationComparison struct {
+	Name      string
+	IdleNs    float64
+	PeakGBps  float64
+	LatVsDDR  float64 // idle latency relative to local DDR
+	BWFracDDR float64 // peak bandwidth relative to local DDR
+}
+
+// CompareGenerations evaluates DDR, CXL 1.1, CXL 2.0, and CXL 3.x devices
+// at one mix.
+func CompareGenerations(mix Mix) []GenerationComparison {
+	ddr := NewDDRDomain("ddr")
+	gens := []struct {
+		name string
+		res  *Resource
+	}{
+		{"DDR5 (SNC domain)", ddr},
+		{"CXL 1.1 (A1000)", NewCXLDevice("cxl11")},
+		{"CXL 2.0 (switched)", NewCXL2Device("cxl20")},
+		{"CXL 3.x (PCIe 6.0)", NewCXL3Device("cxl3x")},
+	}
+	ddrIdle := NewPath("ddr", ddr).IdleLatency(mix)
+	ddrPeak := ddr.Peak.At(mix.ReadFrac)
+	out := make([]GenerationComparison, 0, len(gens))
+	for _, g := range gens {
+		p := NewPath(g.name, g.res)
+		idle := p.IdleLatency(mix)
+		peak := g.res.Peak.At(mix.ReadFrac)
+		out = append(out, GenerationComparison{
+			Name:      g.name,
+			IdleNs:    idle,
+			PeakGBps:  peak,
+			LatVsDDR:  idle / ddrIdle,
+			BWFracDDR: peak / ddrPeak,
+		})
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerationOrdering(t *testing.T) {
+	gens := CompareGenerations(Mix2to1)
+	if len(gens) != 4 {
+		t.Fatalf("want 4 generations, got %d", len(gens))
+	}
+	names := []string{"DDR5", "CXL 1.1", "CXL 2.0", "CXL 3.x"}
+	for i, g := range gens {
+		if len(g.Name) < len(names[i]) || g.Name[:len(names[i])] != names[i] {
+			t.Errorf("generation %d = %q, want prefix %q", i, g.Name, names[i])
+		}
+	}
+	// Latency grows monotonically with topology depth.
+	for i := 1; i < len(gens); i++ {
+		if gens[i].IdleNs <= gens[i-1].IdleNs {
+			t.Errorf("idle latency should grow: %s (%.0f) vs %s (%.0f)",
+				gens[i].Name, gens[i].IdleNs, gens[i-1].Name, gens[i-1].IdleNs)
+		}
+	}
+	// CXL 3.x bandwidth passes DDR (the §7 "superior bandwidth" claim
+	// for next-gen interconnects).
+	if gens[3].BWFracDDR <= 1 {
+		t.Errorf("CXL 3.x bandwidth fraction = %.2f, want > 1", gens[3].BWFracDDR)
+	}
+	// CXL 1.1 and 2.0 share the PCIe 5.0 ceiling.
+	if gens[1].PeakGBps != gens[2].PeakGBps {
+		t.Error("CXL 1.1 and 2.0 share the PCIe 5.0 link budget")
+	}
+	// DDR is the reference.
+	if gens[0].LatVsDDR != 1 || gens[0].BWFracDDR != 1 {
+		t.Error("DDR row should be the unit reference")
+	}
+}
+
+func TestCXL2AddsSwitchLatencyOnly(t *testing.T) {
+	base := NewCXLDevice("a")
+	switched := NewCXL2Device("b")
+	if d := switched.IdleRead - base.IdleRead; math.Abs(d-70) > 1e-9 {
+		t.Fatalf("switch hop adds %.1f ns, want 70", d)
+	}
+	if switched.Peak.At(0.5) != base.Peak.At(0.5) {
+		t.Fatal("CXL 2.0 should not change the bandwidth profile")
+	}
+}
+
+func TestCXL3Bandwidth(t *testing.T) {
+	d := NewCXL3Device("c")
+	if got, want := d.Peak.At(2.0/3), 56.7*1.8; got != want {
+		t.Fatalf("CXL 3.x 2:1 peak = %v, want %v", got, want)
+	}
+}
+
+// --- solver conservation properties ---
+
+// Property: for any set of open flows on one device, total achieved
+// bandwidth never exceeds the device's best-case peak (capacity is
+// conserved).
+func TestPropertyConservationSingleDevice(t *testing.T) {
+	f := func(loads []uint8, rfRaw uint8) bool {
+		if len(loads) == 0 {
+			return true
+		}
+		ddr := NewDDRDomain("ddr")
+		p := NewPath("p", ddr)
+		rf := float64(rfRaw%101) / 100
+		mix := Mix{ReadFrac: rf}
+		flows := make([]OpenFlow, 0, len(loads))
+		for _, l := range loads {
+			flows = append(flows, OpenFlow{
+				Placement: SinglePath(p), Mix: mix, Offered: 1 + float64(l%100),
+			})
+		}
+		res, _ := SolveOpen(flows)
+		total := 0.0
+		for _, r := range res {
+			total += r.Achieved
+		}
+		return total <= ddr.Peak.Max()+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: adding background load never reduces a flow's latency.
+func TestPropertyLatencyMonotoneInBackground(t *testing.T) {
+	f := func(bgRaw uint8) bool {
+		ddr := NewDDRDomain("ddr")
+		p := NewPath("p", ddr)
+		fg := OpenFlow{Placement: SinglePath(p), Mix: ReadOnly, Offered: 10}
+		solo, _ := SolveOpen([]OpenFlow{fg})
+		bg := OpenFlow{Placement: SinglePath(p), Mix: ReadOnly, Offered: float64(bgRaw % 80)}
+		both, _ := SolveOpen([]OpenFlow{fg, bg})
+		return both[0].Latency >= solo[0].Latency-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FixedGBps closed flows offer exactly their demand.
+func TestPropertyFixedDemandFlows(t *testing.T) {
+	f := func(demandRaw uint8) bool {
+		d := 1 + float64(demandRaw%50)
+		ddr := NewDDRDomain("ddr")
+		p := NewPath("p", ddr)
+		res, _ := SolveClosed([]ClosedFlow{{
+			Placement: SinglePath(p), Mix: ReadOnly, FixedGBps: d,
+		}})
+		return res[0].Offered == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDegradeComposesCumulatively(t *testing.T) {
+	r := NewCXLDevice("d")
+	p0 := r.Peak.At(1)
+	r.Degrade(0.5, 1)
+	r.Degrade(0.5, 1)
+	if got := r.Peak.At(1); got != p0*0.25 {
+		t.Fatalf("two half-degrades = %v, want %v", got, p0*0.25)
+	}
+}

@@ -1,0 +1,132 @@
+package memsim
+
+import "fmt"
+
+// Path is a CPU→memory route: an ordered set of shared resources. The four
+// routes the paper studies are local DDR (one resource), remote DDR
+// (UPI + DDR), local CXL (the CXL device resource, which folds in the
+// PCIe link and ASIC controller), and remote CXL (UPI + RSF + device).
+type Path struct {
+	Name      string
+	Resources []*Resource
+}
+
+// NewPath builds a path and validates its resources.
+func NewPath(name string, rs ...*Resource) *Path {
+	if len(rs) == 0 {
+		panic("memsim: path with no resources")
+	}
+	for _, r := range rs {
+		r.validate()
+	}
+	return &Path{Name: name, Resources: rs}
+}
+
+// IdleLatency is the unloaded end-to-end latency for mix m: the sum of
+// per-stage idle contributions.
+func (p *Path) IdleLatency(m Mix) float64 {
+	sum := 0.0
+	for _, r := range p.Resources {
+		sum += r.idle(m)
+	}
+	return sum
+}
+
+// PeakBandwidth is the end-to-end deliverable bandwidth for mix m: the
+// minimum over stages.
+func (p *Path) PeakBandwidth(m Mix) float64 {
+	min := p.Resources[0].Peak.At(m.ReadFrac)
+	for _, r := range p.Resources[1:] {
+		if v := r.Peak.At(m.ReadFrac); v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// bottleneck returns the stage with the smallest peak for mix m.
+func (p *Path) bottleneck(m Mix) *Resource {
+	best := p.Resources[0]
+	min := best.Peak.At(m.ReadFrac)
+	for _, r := range p.Resources[1:] {
+		if v := r.Peak.At(m.ReadFrac); v < min {
+			min, best = v, r
+		}
+	}
+	return best
+}
+
+// String renders the route.
+func (p *Path) String() string {
+	s := p.Name + "["
+	for i, r := range p.Resources {
+		if i > 0 {
+			s += "→"
+		}
+		s += r.Name
+	}
+	return s + "]"
+}
+
+// Placement is a traffic split across paths — the mechanism behind the
+// kernel's N:M interleave policy (§2.3) and behind page-level tiering:
+// Weight is the fraction of accesses served by each path.
+type Placement []WeightedPath
+
+// WeightedPath is one component of a Placement.
+type WeightedPath struct {
+	Path   *Path
+	Weight float64
+}
+
+// SinglePath wraps one path as a trivial placement.
+func SinglePath(p *Path) Placement {
+	return Placement{{Path: p, Weight: 1}}
+}
+
+// Interleave builds the kernel patch's N:M policy across two paths: n
+// pages on top (first path), m pages on the lower tier (second path). For
+// uniformly-striped pages under uniform access, the access split equals
+// the page split.
+func Interleave(top, low *Path, n, m int) Placement {
+	if n < 0 || m < 0 || n+m == 0 {
+		panic(fmt.Sprintf("memsim: invalid interleave ratio %d:%d", n, m))
+	}
+	total := float64(n + m)
+	return Placement{
+		{Path: top, Weight: float64(n) / total},
+		{Path: low, Weight: float64(m) / total},
+	}
+}
+
+// normalized returns a copy with weights scaled to sum to 1, dropping
+// zero-weight entries.
+func (pl Placement) normalized() Placement {
+	sum := 0.0
+	for _, wp := range pl {
+		if wp.Weight < 0 {
+			panic("memsim: negative placement weight")
+		}
+		sum += wp.Weight
+	}
+	if sum == 0 {
+		panic("memsim: placement with zero total weight")
+	}
+	out := make(Placement, 0, len(pl))
+	for _, wp := range pl {
+		if wp.Weight == 0 {
+			continue
+		}
+		out = append(out, WeightedPath{Path: wp.Path, Weight: wp.Weight / sum})
+	}
+	return out
+}
+
+// IdleLatency is the weight-averaged unloaded latency of the placement.
+func (pl Placement) IdleLatency(m Mix) float64 {
+	sum := 0.0
+	for _, wp := range pl.normalized() {
+		sum += wp.Weight * wp.Path.IdleLatency(m)
+	}
+	return sum
+}

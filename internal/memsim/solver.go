@@ -1,0 +1,199 @@
+package memsim
+
+import "math"
+
+// Solvers mutate shared Resource demand accumulators and are therefore
+// NOT safe for concurrent use over the same resources; callers that
+// serve multiple goroutines (e.g. llm.Cluster) must serialize.
+
+// overloadLatencyFactor stretches path latency when offered load exceeds
+// capacity (MLC keeps injecting; queues stay pinned full).
+const overloadLatencyFactor = 0.6
+
+// OpenFlow is an offered-load traffic stream: "push bw GB/s of mix m at
+// this placement and see what happens". MLC-style sweeps use this.
+type OpenFlow struct {
+	Placement Placement
+	Mix       Mix
+	Offered   float64 // GB/s
+}
+
+// ClosedFlow is a closed-loop traffic stream: a set of threads that each
+// keep MLP memory accesses in flight and spend ThinkNs of CPU time per
+// access that does not overlap with memory. Applications are closed
+// flows; their throughput emerges from the latency fixed point.
+type ClosedFlow struct {
+	Placement   Placement
+	Mix         Mix
+	Threads     int
+	MLP         float64 // outstanding accesses per thread
+	AccessBytes float64 // bytes moved per access (64 for cacheline traffic)
+	ThinkNs     float64 // non-overlapped CPU ns per access
+
+	// FixedGBps, when positive, makes this a constant-demand flow (e.g.
+	// a page-migration engine pinned at its rate limit): it offers this
+	// bandwidth regardless of latency but still participates in the
+	// fixed point, so closed flows sharing its devices re-throttle
+	// around it. Threads/MLP/AccessBytes are ignored.
+	FixedGBps float64
+}
+
+// FlowResult reports one flow's steady state.
+type FlowResult struct {
+	Achieved float64 // delivered bandwidth, GB/s
+	Offered  float64 // offered bandwidth, GB/s
+	Latency  float64 // loaded per-access latency, ns (placement-weighted)
+}
+
+// OpsPerSec converts a FlowResult to an operation rate given bytes/op.
+func (fr FlowResult) OpsPerSec(bytesPerOp float64) float64 {
+	if bytesPerOp <= 0 {
+		return 0
+	}
+	return fr.Achieved / bytesPerOp * 1e9
+}
+
+// Utilization is a per-resource capacity-fraction snapshot after a solve;
+// the pcm package exposes these as counters.
+type Utilization map[*Resource]float64
+
+// SolveOpen resolves a set of offered-load flows sharing resources.
+// Returned results are index-aligned with flows.
+func SolveOpen(flows []OpenFlow) ([]FlowResult, Utilization) {
+	resources := collectOpen(flows)
+	for _, r := range resources {
+		r.resetDemand()
+	}
+	for _, f := range flows {
+		for _, wp := range f.Placement.normalized() {
+			for _, r := range wp.Path.Resources {
+				r.addDemand(f.Offered*wp.Weight, f.Mix)
+			}
+		}
+	}
+	util := make(Utilization, len(resources))
+	for _, r := range resources {
+		util[r] = r.utilization()
+	}
+	results := make([]FlowResult, len(flows))
+	for i, f := range flows {
+		results[i] = evalFlow(f.Placement, f.Mix, f.Offered, util)
+	}
+	return results, util
+}
+
+// evalFlow computes achieved bandwidth and placement-weighted latency for
+// one flow against a fixed utilization snapshot.
+func evalFlow(pl Placement, m Mix, offered float64, util Utilization) FlowResult {
+	var achieved, latSum, latWeight float64
+	for _, wp := range pl.normalized() {
+		sub := offered * wp.Weight
+		lat := 0.0
+		frac := 1.0
+		for _, r := range wp.Path.Resources {
+			u := util[r]
+			stage := r.latencyAt(u, m)
+			if u > 1 {
+				stage *= 1 + overloadLatencyFactor*(u-1)
+				f := (1 / u) / (1 + r.OverloadRecession*(u-1))
+				if f < frac {
+					frac = f
+				}
+			}
+			lat += stage
+		}
+		achieved += sub * frac
+		latSum += wp.Weight * lat
+		latWeight += wp.Weight
+	}
+	return FlowResult{Achieved: achieved, Offered: offered, Latency: latSum / latWeight}
+}
+
+// SolveClosed finds the throughput/latency fixed point for closed-loop
+// flows sharing resources. Damped iteration; converges for every
+// configuration the experiments use (guarded by iteration cap).
+func SolveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
+	n := len(flows)
+	lat := make([]float64, n)
+	for i, f := range flows {
+		lat[i] = f.Placement.IdleLatency(f.Mix) + f.ThinkNs
+		if lat[i] <= 0 {
+			lat[i] = 1
+		}
+	}
+	open := make([]OpenFlow, n)
+	var results []FlowResult
+	var util Utilization
+	const (
+		iters = 500
+		tol   = 1e-9
+	)
+	// Adaptive damping: the latency response g(L) is near-vertical at the
+	// saturation cliff, so constant damping can 2-cycle. We track the
+	// sign of each flow's update and halve the step whenever it flips,
+	// which converges like bisection onto the unique fixed point (demand
+	// is decreasing in latency; loaded latency is increasing in demand).
+	step := make([]float64, n)
+	lastDelta := make([]float64, n)
+	for i := range step {
+		step[i] = 0.5
+	}
+	for it := 0; it < iters; it++ {
+		for i, f := range flows {
+			demand := f.FixedGBps
+			if demand <= 0 {
+				demand = float64(f.Threads) * f.MLP * f.AccessBytes / lat[i]
+			}
+			open[i] = OpenFlow{Placement: f.Placement, Mix: f.Mix, Offered: demand}
+		}
+		results, util = SolveOpen(open)
+		maxRel := 0.0
+		for i, f := range flows {
+			newLat := results[i].Latency + f.ThinkNs
+			delta := newLat - lat[i]
+			if delta*lastDelta[i] < 0 {
+				step[i] *= 0.5
+			}
+			lastDelta[i] = delta
+			rel := math.Abs(delta) / lat[i]
+			if rel > maxRel {
+				maxRel = rel
+			}
+			lat[i] += step[i] * delta
+		}
+		if maxRel < tol {
+			break
+		}
+	}
+	// Re-evaluate at the converged latencies so Achieved/Latency are a
+	// consistent pair.
+	for i, f := range flows {
+		demand := f.FixedGBps
+		if demand <= 0 {
+			demand = float64(f.Threads) * f.MLP * f.AccessBytes / lat[i]
+		}
+		open[i] = OpenFlow{Placement: f.Placement, Mix: f.Mix, Offered: demand}
+	}
+	results, util = SolveOpen(open)
+	// At the fixed point a closed flow's achieved bandwidth equals its
+	// offered load (injection self-limits through latency), and
+	// results[i].Latency is the memory-only loaded latency; callers add
+	// their own ThinkNs when computing op costs.
+	return results, util
+}
+
+func collectOpen(flows []OpenFlow) []*Resource {
+	seen := map[*Resource]bool{}
+	var out []*Resource
+	for _, f := range flows {
+		for _, wp := range f.Placement {
+			for _, r := range wp.Path.Resources {
+				if !seen[r] {
+					seen[r] = true
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	return out
+}

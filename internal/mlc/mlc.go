@@ -1,0 +1,141 @@
+// Package mlc reimplements the measurement methodology of Intel's Memory
+// Latency Checker over the simulated memory hierarchy (§3.1): for a given
+// CPU→memory path and read:write mix it sweeps the injection rate from
+// idle to past saturation and records the (bandwidth, loaded latency)
+// curve — the exact data behind the paper's Figures 3 and 4.
+//
+// Like MLC, the sweep uses 64-byte accesses and a fixed thread count
+// whose aggregate injection rate, not the thread count itself, determines
+// memory-request concurrency.
+package mlc
+
+import (
+	"fmt"
+
+	"cxlsim/internal/memsim"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Threads is the number of injector threads (paper: 16). It bounds
+	// the maximum offered load via per-thread concurrency.
+	Threads int
+	// AccessBytes is the access granularity (paper: 64).
+	AccessBytes float64
+	// Steps is the number of sweep points from near-idle to overdrive.
+	Steps int
+	// Overdrive is the multiple of path peak bandwidth offered at the
+	// last sweep step (>1 exercises the saturated/receding regime).
+	Overdrive float64
+}
+
+// DefaultOptions mirrors the paper's MLC configuration.
+func DefaultOptions() Options {
+	return Options{Threads: 16, AccessBytes: 64, Steps: 40, Overdrive: 1.25}
+}
+
+func (o *Options) fill() {
+	if o.Threads == 0 {
+		o.Threads = 16
+	}
+	if o.AccessBytes == 0 {
+		o.AccessBytes = 64
+	}
+	if o.Steps == 0 {
+		o.Steps = 40
+	}
+	if o.Overdrive == 0 {
+		o.Overdrive = 1.25
+	}
+	if o.Threads < 1 || o.Steps < 2 || o.Overdrive <= 0 || o.AccessBytes <= 0 {
+		panic(fmt.Sprintf("mlc: invalid options %+v", *o))
+	}
+}
+
+// Point is one sweep sample.
+type Point struct {
+	OfferedGBps  float64 // injection rate
+	AchievedGBps float64 // delivered bandwidth
+	LatencyNs    float64 // loaded per-access latency
+}
+
+// Curve is a full loaded-latency curve for one (path, mix) pair.
+type Curve struct {
+	PathName string
+	Mix      memsim.Mix
+	Points   []Point
+}
+
+// IdleLatency returns the first (lowest-load) latency sample.
+func (c Curve) IdleLatency() float64 {
+	if len(c.Points) == 0 {
+		return 0
+	}
+	return c.Points[0].LatencyNs
+}
+
+// PeakBandwidth returns the maximum achieved bandwidth over the sweep.
+func (c Curve) PeakBandwidth() float64 {
+	max := 0.0
+	for _, p := range c.Points {
+		if p.AchievedGBps > max {
+			max = p.AchievedGBps
+		}
+	}
+	return max
+}
+
+// KneeUtilization estimates where latency takes off: the fraction of peak
+// bandwidth at which loaded latency first exceeds 1.2× idle.
+func (c Curve) KneeUtilization() float64 {
+	idle := c.IdleLatency()
+	peak := c.PeakBandwidth()
+	if idle == 0 || peak == 0 {
+		return 0
+	}
+	for _, p := range c.Points {
+		if p.LatencyNs > idle*1.2 {
+			return p.AchievedGBps / peak
+		}
+	}
+	return 1
+}
+
+// LoadedLatency sweeps one path with one mix.
+func LoadedLatency(path *memsim.Path, mix memsim.Mix, opts Options) Curve {
+	opts.fill()
+	peak := path.PeakBandwidth(mix)
+	curve := Curve{PathName: path.Name, Mix: mix}
+	pl := memsim.SinglePath(path)
+	for i := 0; i < opts.Steps; i++ {
+		frac := 0.02 + (opts.Overdrive-0.02)*float64(i)/float64(opts.Steps-1)
+		offered := frac * peak
+		res, _ := memsim.SolveOpen([]memsim.OpenFlow{{Placement: pl, Mix: mix, Offered: offered}})
+		curve.Points = append(curve.Points, Point{
+			OfferedGBps:  offered,
+			AchievedGBps: res[0].Achieved,
+			LatencyNs:    res[0].Latency,
+		})
+	}
+	return curve
+}
+
+// SweepMixes produces the per-mix curve family for one path — one panel
+// of Fig. 3.
+func SweepMixes(path *memsim.Path, mixes []memsim.Mix, opts Options) []Curve {
+	out := make([]Curve, 0, len(mixes))
+	for _, m := range mixes {
+		out = append(out, LoadedLatency(path, m, opts))
+	}
+	return out
+}
+
+// SweepPaths produces the per-path curve family for one mix — one panel
+// of Fig. 4 (a–f), comparing distances at a fixed mix.
+func SweepPaths(paths []*memsim.Path, mix memsim.Mix, opts Options) []Curve {
+	out := make([]Curve, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, LoadedLatency(p, mix, opts))
+	}
+	return out
+}

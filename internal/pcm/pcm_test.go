@@ -1,0 +1,96 @@
+package pcm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cxlsim/internal/memsim"
+	"cxlsim/internal/topology"
+)
+
+func TestMonitorRecordsUtilization(t *testing.T) {
+	m := topology.TestbedSNC()
+	mon := NewMonitor()
+	node := m.DRAMNodes(0)[0]
+	p := m.PathFrom(0, node)
+	_, util := memsim.SolveOpen([]memsim.OpenFlow{
+		{Placement: memsim.SinglePath(p), Mix: memsim.ReadOnly, Offered: 33.5},
+	})
+	mon.Record(0, util)
+	if got := mon.MeanUtilization(node.Name); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("mean utilization = %v, want ≈0.5 (33.5 of 67)", got)
+	}
+	if len(mon.Samples()) != 1 {
+		t.Fatalf("samples = %d", len(mon.Samples()))
+	}
+	if bw := mon.Samples()[0].Bandwidth[node.Name]; bw < 30 || bw > 37 {
+		t.Fatalf("bandwidth estimate = %v, want ≈33.5", bw)
+	}
+}
+
+func TestMonitorAggregates(t *testing.T) {
+	m := topology.TestbedSNC()
+	mon := NewMonitor()
+	node := m.DRAMNodes(0)[0]
+	p := m.PathFrom(0, node)
+	for _, offered := range []float64{10, 20, 30} {
+		_, util := memsim.SolveOpen([]memsim.OpenFlow{
+			{Placement: memsim.SinglePath(p), Mix: memsim.ReadOnly, Offered: offered},
+		})
+		mon.Record(0, util)
+	}
+	mean := mon.MeanUtilization(node.Name)
+	if math.Abs(mean-20.0/67) > 0.01 {
+		t.Fatalf("mean = %v, want %v", mean, 20.0/67)
+	}
+	if max := mon.MaxUtilization(node.Name); math.Abs(max-30.0/67) > 0.01 {
+		t.Fatalf("max = %v, want %v", max, 30.0/67)
+	}
+}
+
+func TestMonitorUnknownResource(t *testing.T) {
+	mon := NewMonitor()
+	if mon.MeanUtilization("nope") != 0 || mon.MaxUtilization("nope") != 0 {
+		t.Fatal("unknown resource should report 0")
+	}
+}
+
+func TestUPIUtilizationBelow30OnRemoteCXL(t *testing.T) {
+	// §3.2: even at the remote-CXL bandwidth clamp, "UPI utilization is
+	// consistently below 30%" — the RSF, not UPI, is the bottleneck.
+	m := topology.TestbedSNC()
+	mon := NewMonitor()
+	cxl := m.CXLNodes()[0]
+	p := m.PathFrom(1, cxl)
+	peak := p.PeakBandwidth(memsim.Mix2to1)
+	_, util := memsim.SolveOpen([]memsim.OpenFlow{
+		{Placement: memsim.SinglePath(p), Mix: memsim.Mix2to1, Offered: peak},
+	})
+	mon.Record(0, util)
+	if u := mon.MeanUtilization(m.UPI().Name); u >= 0.45 {
+		t.Fatalf("UPI utilization %v at remote-CXL saturation; paper observes the UPI is not the bottleneck", u)
+	}
+}
+
+func TestResourcesSortedAndString(t *testing.T) {
+	m := topology.TestbedSNC()
+	mon := NewMonitor()
+	p := m.PathFrom(1, m.CXLNodes()[0])
+	_, util := memsim.SolveOpen([]memsim.OpenFlow{
+		{Placement: memsim.SinglePath(p), Mix: memsim.ReadOnly, Offered: 5},
+	})
+	mon.Record(0, util)
+	rs := mon.Resources()
+	if len(rs) != 3 { // upi + rsf + cxl device
+		t.Fatalf("resources = %v", rs)
+	}
+	for i := 1; i < len(rs); i++ {
+		if rs[i] < rs[i-1] {
+			t.Fatal("resources not sorted")
+		}
+	}
+	if !strings.Contains(mon.String(), "samples") {
+		t.Fatal("String() malformed")
+	}
+}

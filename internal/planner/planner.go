@@ -1,0 +1,196 @@
+// Package planner is the §6 conclusion operationalized: given a fleet of
+// workload classes (working sets, bandwidth demands, and how much of each
+// working set profiling says can tolerate CXL), it packs them onto
+// candidate server shapes — DRAM-only, CXL-expanded, or high-density
+// DIMMs — and picks the cheapest fleet that fits, respecting both
+// capacity and the bandwidth knee on every tier.
+package planner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// WorkloadClass describes one kind of service instance.
+type WorkloadClass struct {
+	Name          string
+	Count         int     // instances to place
+	WorkingSetGB  float64 // memory per instance
+	BandwidthGBps float64 // sustained memory bandwidth per instance
+	// MaxCXLShare is the largest fraction of the working set that can
+	// live on CXL without violating the class's SLO (derived from
+	// profiling à la §4: ≈0.25 for a KeyDB-like store, ≈1.0 for a
+	// bandwidth-bound batch job, 0 for ultra-latency-critical data).
+	MaxCXLShare float64
+}
+
+// Validate checks the class.
+func (w WorkloadClass) Validate() error {
+	if w.Count < 1 || w.WorkingSetGB <= 0 || w.BandwidthGBps < 0 {
+		return fmt.Errorf("planner: invalid class %q", w.Name)
+	}
+	if w.MaxCXLShare < 0 || w.MaxCXLShare > 1 {
+		return fmt.Errorf("planner: class %q MaxCXLShare outside [0,1]", w.Name)
+	}
+	return nil
+}
+
+// ServerShape is a candidate hardware configuration.
+type ServerShape struct {
+	Name       string
+	DRAMGB     float64
+	CXLGB      float64
+	DRAMBWGBps float64 // deliverable DRAM bandwidth
+	CXLBWGBps  float64 // deliverable CXL bandwidth
+	CostUnits  float64 // relative TCO per server (baseline = 1)
+}
+
+// Validate checks the shape.
+func (s ServerShape) Validate() error {
+	if s.DRAMGB <= 0 || s.CXLGB < 0 || s.DRAMBWGBps <= 0 || s.CXLBWGBps < 0 || s.CostUnits <= 0 {
+		return fmt.Errorf("planner: invalid shape %q", s.Name)
+	}
+	return nil
+}
+
+// DefaultShapes returns the candidate fleet shapes the paper's testbed
+// and discussion suggest: the baseline server, two CXL expansions (the
+// A1000-class card costs far less per GB than high-density DIMMs), and a
+// double-density DRAM build with its DIMM premium.
+func DefaultShapes() []ServerShape {
+	return []ServerShape{
+		{Name: "baseline", DRAMGB: 1024, DRAMBWGBps: 500, CostUnits: 1.0},
+		{Name: "cxl-512", DRAMGB: 1024, CXLGB: 512, DRAMBWGBps: 500, CXLBWGBps: 110, CostUnits: 1.10},
+		{Name: "cxl-1024", DRAMGB: 1024, CXLGB: 1024, DRAMBWGBps: 500, CXLBWGBps: 220, CostUnits: 1.18},
+		// Doubling DRAM with high-density DIMMs costs far more than 2×
+		// per GB (§1: "cost considerations of employing high-density
+		// DIMMs") and adds no bandwidth (same channel count).
+		{Name: "dram-2x", DRAMGB: 2048, DRAMBWGBps: 500, CostUnits: 2.2},
+	}
+}
+
+// bwTarget keeps per-tier bandwidth below the contention knee (§3).
+const bwTarget = 0.75
+
+// Plan is the chosen fleet.
+type Plan struct {
+	Shape     ServerShape
+	Servers   int
+	CostUnits float64
+	// Residency summarizes where fleet memory landed.
+	DRAMUsedGB, CXLUsedGB float64
+}
+
+// ErrInfeasible is returned when no shape can host the fleet.
+var ErrInfeasible = errors.New("planner: no candidate shape fits the workload")
+
+// serverState tracks one server during packing.
+type serverState struct {
+	dramGB, cxlGB float64
+	dramBW, cxlBW float64
+}
+
+// place tries to fit one instance, preferring DRAM, spilling up to
+// maxCXLShare of its working set (and the proportional bandwidth) to CXL.
+func (s *serverState) place(w WorkloadClass, shape ServerShape) bool {
+	minDRAM := w.WorkingSetGB * (1 - w.MaxCXLShare)
+	// DRAM is the scarce, expensive resource: offload the maximum
+	// tolerated share to CXL first, falling back to pure DRAM when the
+	// CXL tier (capacity or bandwidth) is the binding constraint.
+	for _, cxlShare := range []float64{w.MaxCXLShare, 0} {
+		dramNeed := w.WorkingSetGB * (1 - cxlShare)
+		if dramNeed < minDRAM {
+			dramNeed = minDRAM
+		}
+		cxlNeed := w.WorkingSetGB - dramNeed
+		dramBWNeed := w.BandwidthGBps * (dramNeed / w.WorkingSetGB)
+		cxlBWNeed := w.BandwidthGBps - dramBWNeed
+		if s.dramGB+dramNeed > shape.DRAMGB || s.cxlGB+cxlNeed > shape.CXLGB {
+			continue
+		}
+		if s.dramBW+dramBWNeed > shape.DRAMBWGBps*bwTarget ||
+			s.cxlBW+cxlBWNeed > shape.CXLBWGBps*bwTarget+1e-12 {
+			continue
+		}
+		s.dramGB += dramNeed
+		s.cxlGB += cxlNeed
+		s.dramBW += dramBWNeed
+		s.cxlBW += cxlBWNeed
+		return true
+	}
+	return false
+}
+
+// packOnto computes how many servers of the shape host the fleet
+// (first-fit decreasing by working set). Returns 0 when a single
+// instance cannot fit any server.
+func packOnto(classes []WorkloadClass, shape ServerShape) (servers int, dramGB, cxlGB float64) {
+	var insts []WorkloadClass
+	for _, c := range classes {
+		for i := 0; i < c.Count; i++ {
+			insts = append(insts, c)
+		}
+	}
+	sort.SliceStable(insts, func(i, j int) bool {
+		return insts[i].WorkingSetGB > insts[j].WorkingSetGB
+	})
+	var fleet []*serverState
+	for _, in := range insts {
+		placed := false
+		for _, srv := range fleet {
+			if srv.place(in, shape) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			srv := &serverState{}
+			if !srv.place(in, shape) {
+				return 0, 0, 0 // instance cannot fit this shape at all
+			}
+			fleet = append(fleet, srv)
+		}
+	}
+	for _, srv := range fleet {
+		dramGB += srv.dramGB
+		cxlGB += srv.cxlGB
+	}
+	return len(fleet), dramGB, cxlGB
+}
+
+// Optimize picks the cheapest feasible plan across shapes. Ties go to
+// fewer servers.
+func Optimize(classes []WorkloadClass, shapes []ServerShape) (Plan, error) {
+	if len(classes) == 0 {
+		return Plan{}, errors.New("planner: no workload classes")
+	}
+	if len(shapes) == 0 {
+		shapes = DefaultShapes()
+	}
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return Plan{}, err
+		}
+	}
+	var best *Plan
+	for _, shape := range shapes {
+		if err := shape.Validate(); err != nil {
+			return Plan{}, err
+		}
+		n, dram, cxl := packOnto(classes, shape)
+		if n == 0 {
+			continue
+		}
+		p := Plan{Shape: shape, Servers: n, CostUnits: float64(n) * shape.CostUnits,
+			DRAMUsedGB: dram, CXLUsedGB: cxl}
+		if best == nil || p.CostUnits < best.CostUnits-1e-9 ||
+			(p.CostUnits < best.CostUnits+1e-9 && p.Servers < best.Servers) {
+			best = &p
+		}
+	}
+	if best == nil {
+		return Plan{}, ErrInfeasible
+	}
+	return *best, nil
+}

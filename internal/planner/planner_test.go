@@ -1,0 +1,163 @@
+package planner
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+// kvFleet is a capacity-bound KeyDB-like fleet: big working sets, modest
+// bandwidth, half of each set CXL-tolerable — the paper's Hot-Promote
+// configuration (Table 1: half the dataset on CXL, promotion keeps
+// performance ≈ MMEM).
+func kvFleet(count int) []WorkloadClass {
+	return []WorkloadClass{{
+		Name: "keydb", Count: count,
+		WorkingSetGB: 512, BandwidthGBps: 5, MaxCXLShare: 0.5,
+	}}
+}
+
+func TestCapacityBoundFleetPrefersCXL(t *testing.T) {
+	// §6's conclusion: for capacity-bound services, CXL expansion needs
+	// fewer servers than the baseline and beats the high-density-DIMM
+	// premium on cost.
+	plan, err := Optimize(kvFleet(12), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shape.CXLGB == 0 {
+		t.Fatalf("capacity-bound fleet chose %q; expected a CXL shape", plan.Shape.Name)
+	}
+	// Versus baseline-only: force the baseline and compare cost.
+	base, err := Optimize(kvFleet(12), []ServerShape{DefaultShapes()[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.CostUnits >= base.CostUnits {
+		t.Fatalf("CXL plan (%v units) should undercut baseline (%v units)", plan.CostUnits, base.CostUnits)
+	}
+	if plan.CXLUsedGB == 0 {
+		t.Fatal("plan should actually use the CXL tier")
+	}
+}
+
+func TestLatencyCriticalFleetAvoidsCXL(t *testing.T) {
+	// MaxCXLShare 0 pins everything in DRAM: CXL capacity is dead
+	// weight, so the baseline wins on cost.
+	fleet := []WorkloadClass{{
+		Name: "ultra", Count: 8, WorkingSetGB: 256, BandwidthGBps: 10, MaxCXLShare: 0,
+	}}
+	plan, err := Optimize(fleet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shape.Name != "baseline" {
+		t.Fatalf("latency-critical fleet chose %q, want baseline", plan.Shape.Name)
+	}
+	if plan.CXLUsedGB != 0 {
+		t.Fatal("no CXL residency expected")
+	}
+}
+
+func TestBandwidthBoundFleetUsesCXLBandwidth(t *testing.T) {
+	// LLM-like instances: small working sets, heavy bandwidth, fully
+	// CXL-tolerant. The binding constraint is the bandwidth knee, and
+	// CXL's extra channels raise per-server capacity (§5).
+	fleet := []WorkloadClass{{
+		Name: "llm", Count: 40, WorkingSetGB: 16, BandwidthGBps: 30, MaxCXLShare: 1,
+	}}
+	cxlPlan, err := Optimize(fleet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Optimize(fleet, []ServerShape{DefaultShapes()[0]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cxlPlan.Servers >= base.Servers {
+		t.Fatalf("CXL bandwidth should cut servers: %d vs baseline %d", cxlPlan.Servers, base.Servers)
+	}
+	if cxlPlan.CostUnits >= base.CostUnits {
+		t.Fatalf("CXL plan cost %v should beat baseline %v", cxlPlan.CostUnits, base.CostUnits)
+	}
+}
+
+func TestInfeasibleWorkload(t *testing.T) {
+	// An instance bigger than any server with no CXL tolerance.
+	fleet := []WorkloadClass{{
+		Name: "whale", Count: 1, WorkingSetGB: 10_000, BandwidthGBps: 1, MaxCXLShare: 0,
+	}}
+	if _, err := Optimize(fleet, nil); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMixedFleet(t *testing.T) {
+	fleet := []WorkloadClass{
+		{Name: "keydb", Count: 6, WorkingSetGB: 512, BandwidthGBps: 5, MaxCXLShare: 0.25},
+		{Name: "llm", Count: 10, WorkingSetGB: 16, BandwidthGBps: 25, MaxCXLShare: 1},
+		{Name: "ultra", Count: 3, WorkingSetGB: 64, BandwidthGBps: 8, MaxCXLShare: 0},
+	}
+	plan, err := Optimize(fleet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Servers < 1 {
+		t.Fatal("empty plan")
+	}
+	// Accounting sanity: fleet memory equals placed memory.
+	var want float64
+	for _, c := range fleet {
+		want += float64(c.Count) * c.WorkingSetGB
+	}
+	got := plan.DRAMUsedGB + plan.CXLUsedGB
+	if got < want-1e-6 || got > want+1e-6 {
+		t.Fatalf("placed %v GB, fleet needs %v GB", got, want)
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	bad := [][]WorkloadClass{
+		nil,
+		{{Name: "x", Count: 0, WorkingSetGB: 1}},
+		{{Name: "x", Count: 1, WorkingSetGB: 0}},
+		{{Name: "x", Count: 1, WorkingSetGB: 1, MaxCXLShare: 2}},
+	}
+	for i, fleet := range bad {
+		if _, err := Optimize(fleet, nil); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+	good := kvFleet(1)
+	if _, err := Optimize(good, []ServerShape{{Name: "bad"}}); err == nil {
+		t.Error("invalid shape should error")
+	}
+}
+
+// Property: plans never pack beyond capacity or the bandwidth target on
+// either tier.
+func TestPropertyPlansRespectLimits(t *testing.T) {
+	f := func(countRaw, wsRaw, bwRaw, shareRaw uint8) bool {
+		fleet := []WorkloadClass{{
+			Name:          "w",
+			Count:         int(countRaw%20) + 1,
+			WorkingSetGB:  float64(wsRaw%200) + 1,
+			BandwidthGBps: float64(bwRaw % 40),
+			MaxCXLShare:   float64(shareRaw%101) / 100,
+		}}
+		plan, err := Optimize(fleet, nil)
+		if err != nil {
+			return errors.Is(err, ErrInfeasible)
+		}
+		// Re-pack onto the chosen shape and verify every server's load.
+		n, dram, cxl := packOnto(fleet, plan.Shape)
+		if n != plan.Servers {
+			return false
+		}
+		return dram <= float64(plan.Servers)*plan.Shape.DRAMGB+1e-6 &&
+			cxl <= float64(plan.Servers)*plan.Shape.CXLGB+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,221 @@
+// Package sim provides a small deterministic discrete-event simulation
+// kernel used by every other cxlsim subsystem.
+//
+// All cxlsim experiments run in virtual time: the kernel owns a virtual
+// clock (nanosecond resolution, stored as float64 so sub-ns device math
+// composes without truncation) and a priority queue of pending events.
+// Nothing in the library reads the wall clock; determinism is a hard
+// invariant (see TestDeterminism) because the paper's figures must be
+// regenerable bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, measured in nanoseconds from the start
+// of the simulation. float64 keeps device-model arithmetic exact enough
+// (53-bit mantissa ≈ 104 days at 1 ns resolution) while allowing
+// fractional-nanosecond latency composition.
+type Time float64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1e3 * Nanosecond
+	Millisecond      = 1e6 * Nanosecond
+	Second           = 1e9 * Nanosecond
+)
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%.1fns", float64(t))
+	}
+}
+
+// Seconds reports the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a scheduled callback. Events with equal fire times run in the
+// order they were scheduled (FIFO tie-break by sequence number), which is
+// what makes the kernel deterministic.
+type Event struct {
+	at   Time
+	seq  uint64
+	fn   func(now Time)
+	idx  int // heap index, -1 when popped or canceled
+	done bool
+}
+
+// Canceled reports whether the event was descheduled before firing.
+func (e *Event) Canceled() bool { return e.idx == -1 && !e.done }
+
+// eventHeap orders events by (time, sequence).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator instance. The zero value is not
+// usable; call NewEngine.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	nextSq uint64
+	fired  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports how many events are scheduled but not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func(now Time)) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
+		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(t)))
+	}
+	ev := &Event{at: t, seq: e.nextSq, fn: fn}
+	e.nextSq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func(now Time)) *Event {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event from the queue. Canceling an event that
+// already fired (or was already canceled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.idx < 0 {
+		return
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -1
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// fire time. It reports false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.at
+	ev.done = true
+	e.fired++
+	ev.fn(e.now)
+	return true
+}
+
+// Run fires events until the queue drains and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time ≤ deadline, then sets the clock to the
+// deadline (even if no event fired exactly there). Events scheduled beyond
+// the deadline stay queued.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Ticker invokes fn every period until Stop is called or the engine's
+// queue drains past it. It is the backbone of epoch-driven co-simulation
+// (tiering daemons, counters, app batch loops).
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func(now Time)
+	ev      *Event
+	stopped bool
+}
+
+// Every creates and starts a ticker with the given period. The first tick
+// fires one full period from now. Period must be positive.
+func (e *Engine) Every(period Time, fn func(now Time)) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t := &Ticker{eng: e, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.After(t.period, func(now Time) {
+		if t.stopped {
+			return
+		}
+		t.fn(now)
+		if !t.stopped {
+			t.arm()
+		}
+	})
+}
+
+// Stop prevents future ticks. Safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.eng.Cancel(t.ev)
+}

@@ -1,0 +1,293 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine clock = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine pending = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30, func(Time) { order = append(order, 3) })
+	e.At(10, func(Time) { order = append(order, 1) })
+	e.At(20, func(Time) { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("final time = %v, want 30", e.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated at %d: got %v", i, order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(100, func(now Time) {
+		e.After(50, func(now Time) { at = now })
+	})
+	e.Run()
+	if at != 150 {
+		t.Fatalf("After fired at %v, want 150", at)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func(Time) {})
+}
+
+func TestNonFiniteTimePanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling at NaN did not panic")
+		}
+	}()
+	e.At(Time(math.NaN()), func(Time) {})
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func(Time) { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("canceled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() = false for canceled event")
+	}
+	// Double-cancel and nil-cancel are no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(10, func(Time) {})
+	e.Run()
+	e.Cancel(ev) // must not panic or corrupt the heap
+	if ev.Canceled() {
+		t.Fatal("fired event reported as canceled")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events by t=25, want 2", len(fired))
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %v after RunUntil(25), want 25", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Fatalf("fired %d events total, want 4", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Fatalf("clock = %v, want 1000", e.Now())
+	}
+}
+
+func TestTicker(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := e.Every(10, func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 5 {
+			// Stop from within the callback.
+			panicIfNil(t, now)
+		}
+	})
+	e.At(45, func(Time) { tk.Stop() })
+	e.Run()
+	if len(ticks) != 4 {
+		t.Fatalf("ticker fired %d times, want 4 (at 10,20,30,40): %v", len(ticks), ticks)
+	}
+	for i, at := range ticks {
+		if want := Time(10 * (i + 1)); at != want {
+			t.Fatalf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	tk.Stop() // double-stop is safe
+}
+
+func panicIfNil(t *testing.T, now Time) {
+	t.Helper()
+	if now == 0 {
+		t.Fatal("tick at time zero")
+	}
+}
+
+func TestTickerStopFromCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = e.Every(7, func(Time) {
+		n++
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 3 {
+		t.Fatalf("ticker fired %d times, want 3", n)
+	}
+}
+
+func TestTickerZeroPeriodPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-period ticker did not panic")
+		}
+	}()
+	e.Every(0, func(Time) {})
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 17; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	e.Run()
+	if e.Fired() != 17 {
+		t.Fatalf("Fired() = %d, want 17", e.Fired())
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{5, "5.0ns"},
+		{1500, "1.500µs"},
+		{2_500_000, "2.500ms"},
+		{3_000_000_000, "3.000s"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%v).String() = %q, want %q", float64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSeconds(t *testing.T) {
+	if s := (2 * Second).Seconds(); s != 2 {
+		t.Fatalf("Seconds() = %v, want 2", s)
+	}
+}
+
+// TestDeterminism is the kernel's core invariant: two engines fed the same
+// schedule produce identical firing orders.
+func TestDeterminism(t *testing.T) {
+	run := func() []int {
+		e := NewEngine()
+		var order []int
+		// A pseudo-random-looking but fixed schedule with many ties.
+		times := []Time{5, 3, 5, 9, 1, 5, 3, 7, 9, 1, 2, 2}
+		for i, at := range times {
+			i := i
+			e.At(at, func(Time) { order = append(order, i) })
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic firing order: %v vs %v", a, b)
+		}
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing time order.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, off := range offsets {
+			e.At(Time(off), func(now Time) { fired = append(fired, now) })
+		}
+		e.Run()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+}
+
+func BenchmarkEngineStep(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.At(Time(i), func(Time) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

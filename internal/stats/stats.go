@@ -1,0 +1,308 @@
+// Package stats provides the measurement primitives the cxlsim
+// experiments report with: streaming summaries (Welford), log-bucketed
+// latency histograms with percentile and CDF extraction, and small
+// helpers for normalizing series the way the paper's figures do.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates count/mean/variance/min/max in one pass using
+// Welford's algorithm. The zero value is ready to use.
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// Merge folds another summary into s (parallel Welford merge).
+func (s *Summary) Merge(o Summary) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	d := o.mean - s.mean
+	s.m2 += o.m2 + d*d*float64(s.n)*float64(o.n)/float64(n)
+	s.mean += d * float64(o.n) / float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the population variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Reset returns the summary to its zero state.
+func (s *Summary) Reset() { *s = Summary{} }
+
+// Histogram is a log-bucketed histogram tuned for latency-like positive
+// values spanning several orders of magnitude (ns to ms). It supports
+// percentile queries with bounded relative error set by bucketsPerDecade.
+type Histogram struct {
+	base    float64 // smallest representable value
+	perDec  int     // buckets per decade
+	lnRatio float64 // ln of per-bucket growth ratio
+	counts  []uint64
+	under   uint64 // observations below base
+	sum     Summary
+}
+
+// NewHistogram builds a histogram covering [base, base*10^decades) with
+// bucketsPerDecade resolution. Typical latency use:
+// NewHistogram(1, 7, 90) covers 1 ns .. 10 ms at ~2.6% relative error.
+func NewHistogram(base float64, decades, bucketsPerDecade int) *Histogram {
+	if base <= 0 || decades <= 0 || bucketsPerDecade <= 0 {
+		panic("stats: histogram parameters must be positive")
+	}
+	return &Histogram{
+		base:    base,
+		perDec:  bucketsPerDecade,
+		lnRatio: math.Ln10 / float64(bucketsPerDecade),
+		counts:  make([]uint64, decades*bucketsPerDecade+1),
+	}
+}
+
+// NewLatencyHistogram covers 1 ns to 100 s, adequate for every latency
+// cxlsim produces, at ~2.6% relative error.
+func NewLatencyHistogram() *Histogram { return NewHistogram(1, 11, 90) }
+
+func (h *Histogram) bucket(x float64) int {
+	if x < h.base {
+		return -1
+	}
+	b := int(math.Log(x/h.base) / h.lnRatio)
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	return b
+}
+
+// Add records one observation. Non-positive and NaN values are counted in
+// the underflow bucket and excluded from percentiles.
+func (h *Histogram) Add(x float64) {
+	if math.IsNaN(x) || x < h.base {
+		h.under++
+		return
+	}
+	h.counts[h.bucket(x)]++
+	h.sum.Add(x)
+}
+
+// AddN records n identical observations (used when an epoch model knows a
+// batch of ops shared a latency).
+func (h *Histogram) AddN(x float64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if math.IsNaN(x) || x < h.base {
+		h.under += n
+		return
+	}
+	h.counts[h.bucket(x)] += n
+	h.sum.Merge(Summary{n: n, mean: x, min: x, max: x})
+}
+
+// Count reports the number of in-range observations.
+func (h *Histogram) Count() uint64 { return h.sum.Count() }
+
+// Mean reports the exact mean of in-range observations.
+func (h *Histogram) Mean() float64 { return h.sum.Mean() }
+
+// Max reports the exact max of in-range observations.
+func (h *Histogram) Max() float64 { return h.sum.Max() }
+
+// Min reports the exact min of in-range observations.
+func (h *Histogram) Min() float64 { return h.sum.Min() }
+
+// value returns the geometric midpoint of bucket b.
+func (h *Histogram) value(b int) float64 {
+	return h.base * math.Exp(h.lnRatio*(float64(b)+0.5))
+}
+
+// Quantile returns the value at quantile q in [0,1]. With no observations
+// it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.sum.Count()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.sum.Min()
+	}
+	if q >= 1 {
+		return h.sum.Max()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for b, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			return h.value(b)
+		}
+	}
+	return h.sum.Max()
+}
+
+// Percentile is Quantile with p in [0,100].
+func (h *Histogram) Percentile(p float64) float64 { return h.Quantile(p / 100) }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64 // observation value (e.g. latency in ns)
+	Fraction float64 // P(X <= Value)
+}
+
+// CDF returns the empirical CDF over non-empty buckets, suitable for the
+// paper's latency-CDF plots (Fig. 5(c), Fig. 8(a)).
+func (h *Histogram) CDF() []CDFPoint {
+	total := h.sum.Count()
+	if total == 0 {
+		return nil
+	}
+	var out []CDFPoint
+	var cum uint64
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		out = append(out, CDFPoint{Value: h.value(b), Fraction: float64(cum) / float64(total)})
+	}
+	return out
+}
+
+// Merge folds another histogram into h. Both must have identical geometry.
+func (h *Histogram) Merge(o *Histogram) {
+	if h.base != o.base || h.perDec != o.perDec || len(h.counts) != len(o.counts) {
+		panic("stats: merging histograms with different geometry")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.under += o.under
+	h.sum.Merge(o.sum)
+}
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.under = 0
+	h.sum.Reset()
+}
+
+// String summarizes the histogram for debugging.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d mean=%.1f p50=%.1f p99=%.1f max=%.1f}",
+		h.Count(), h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}
+
+// Percentiles computes exact percentiles from a sample slice (sorted copy;
+// the input is not modified). p values are in [0,100]. Used by tests to
+// validate Histogram accuracy and by small-sample experiments.
+func Percentiles(samples []float64, ps ...float64) []float64 {
+	if len(samples) == 0 {
+		return make([]float64, len(ps))
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		if p <= 0 {
+			out[i] = sorted[0]
+			continue
+		}
+		if p >= 100 {
+			out[i] = sorted[len(sorted)-1]
+			continue
+		}
+		rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		out[i] = sorted[rank]
+	}
+	return out
+}
+
+// Normalize divides each element of xs by base, reproducing the paper's
+// "normalized to MMEM" presentation (Fig. 7(a)). A zero base yields zeros.
+func Normalize(xs []float64, base float64) []float64 {
+	out := make([]float64, len(xs))
+	if base == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / base
+	}
+	return out
+}
+
+// GeoMean returns the geometric mean of positive values; zero if any value
+// is non-positive or the slice is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}

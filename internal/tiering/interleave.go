@@ -1,0 +1,65 @@
+package tiering
+
+import (
+	"fmt"
+
+	"cxlsim/internal/memsim"
+)
+
+// ChooseInterleave operationalizes the §3.4 recommendation that
+// "allocators and kernel-level page placement policies should consider
+// the available bandwidth in MMEM": given the workload's offered load and
+// mix, it evaluates candidate N:M ratios against the device model and
+// returns the ratio minimizing loaded latency (ties go to the higher
+// MMEM share — fewer pages on the slower medium).
+//
+// At low load it picks MMEM-only (CXL's idle latency only hurts); as
+// offered load approaches and passes the MMEM knee, progressively larger
+// CXL shares win — the crossover the paper demonstrates with the LLM
+// workload (Fig. 10(a)).
+func ChooseInterleave(top, low *memsim.Path, mix memsim.Mix, offeredGBps float64, candidates [][2]int) (n, m int, latency float64) {
+	if offeredGBps <= 0 {
+		panic("tiering: non-positive offered load")
+	}
+	if len(candidates) == 0 {
+		candidates = DefaultRatios()
+	}
+	best := -1
+	bestLat := 0.0
+	bestShare := 0.0
+	for i, c := range candidates {
+		var pl memsim.Placement
+		if c[1] == 0 {
+			pl = memsim.SinglePath(top)
+		} else {
+			pl = memsim.Interleave(top, low, c[0], c[1])
+		}
+		res, _ := memsim.SolveOpen([]memsim.OpenFlow{{Placement: pl, Mix: mix, Offered: offeredGBps}})
+		// Undelivered bandwidth is a latency in disguise: penalize
+		// placements that cannot carry the offered load by the extra
+		// queueing an overloaded device implies.
+		lat := res[0].Latency
+		if res[0].Achieved < offeredGBps {
+			lat *= offeredGBps / res[0].Achieved
+		}
+		share := float64(c[0]) / float64(c[0]+c[1])
+		if best < 0 || lat < bestLat-1e-9 || (lat < bestLat+1e-9 && share > bestShare) {
+			best, bestLat, bestShare = i, lat, share
+		}
+	}
+	return candidates[best][0], candidates[best][1], bestLat
+}
+
+// DefaultRatios is the candidate ratio ladder: MMEM-only plus the
+// kernel-patch-style N:M steps the paper evaluates.
+func DefaultRatios() [][2]int {
+	return [][2]int{{1, 0}, {4, 1}, {3, 1}, {2, 1}, {1, 1}, {1, 2}, {1, 3}}
+}
+
+// RatioLabel renders a ratio the way the paper writes it.
+func RatioLabel(n, m int) string {
+	if m == 0 {
+		return "MMEM"
+	}
+	return fmt.Sprintf("%d:%d", n, m)
+}

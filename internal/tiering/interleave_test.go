@@ -1,0 +1,156 @@
+package tiering
+
+import (
+	"testing"
+
+	"cxlsim/internal/memsim"
+	"cxlsim/internal/topology"
+)
+
+func interleavePaths(t *testing.T) (top, low *memsim.Path) {
+	t.Helper()
+	m := topology.TestbedSNC()
+	return m.PathFrom(0, m.DRAMNodes(0)[0]), m.PathFrom(0, m.CXLNodes()[0])
+}
+
+func TestChooseInterleaveLowLoadPicksMMEM(t *testing.T) {
+	top, low := interleavePaths(t)
+	n, m, _ := ChooseInterleave(top, low, memsim.ReadOnly, 10, nil)
+	if m != 0 {
+		t.Fatalf("at 10 GB/s the chooser picked %s; CXL idle latency should rule it out", RatioLabel(n, m))
+	}
+}
+
+func TestChooseInterleaveHighLoadOffloads(t *testing.T) {
+	// Past the MMEM knee (~56 GB/s of its 67 peak), some CXL share must
+	// win — the §3.4 insight.
+	top, low := interleavePaths(t)
+	n, m, _ := ChooseInterleave(top, low, memsim.ReadOnly, 80, nil)
+	if m == 0 {
+		t.Fatal("at 80 GB/s offered the chooser stayed MMEM-only")
+	}
+	// And the chosen split must actually beat MMEM-only.
+	mmemOnly, _ := memsim.SolveOpen([]memsim.OpenFlow{{
+		Placement: memsim.SinglePath(top), Mix: memsim.ReadOnly, Offered: 80,
+	}})
+	chosen, _ := memsim.SolveOpen([]memsim.OpenFlow{{
+		Placement: memsim.Interleave(top, low, n, m), Mix: memsim.ReadOnly, Offered: 80,
+	}})
+	if chosen[0].Achieved <= mmemOnly[0].Achieved {
+		t.Fatalf("chosen %s delivers %.1f, MMEM-only %.1f", RatioLabel(n, m), chosen[0].Achieved, mmemOnly[0].Achieved)
+	}
+}
+
+func TestChooseInterleaveMonotoneOffload(t *testing.T) {
+	// The CXL share of the chosen ratio should not shrink as load grows.
+	top, low := interleavePaths(t)
+	prevShare := -1.0
+	for _, load := range []float64{10, 30, 50, 65, 80, 100} {
+		n, m, _ := ChooseInterleave(top, low, memsim.ReadOnly, load, nil)
+		share := float64(m) / float64(n+m)
+		if share < prevShare-1e-9 {
+			t.Fatalf("CXL share shrank at %v GB/s: %v -> %v", load, prevShare, share)
+		}
+		prevShare = share
+	}
+}
+
+func TestChooseInterleaveMatchesBruteForce(t *testing.T) {
+	top, low := interleavePaths(t)
+	ratios := DefaultRatios()
+	for _, load := range []float64{20, 60, 90} {
+		n, m, lat := ChooseInterleave(top, low, memsim.ReadOnly, load, ratios)
+		// Brute force over the same candidates.
+		bestLat := -1.0
+		for _, c := range ratios {
+			var pl memsim.Placement
+			if c[1] == 0 {
+				pl = memsim.SinglePath(top)
+			} else {
+				pl = memsim.Interleave(top, low, c[0], c[1])
+			}
+			res, _ := memsim.SolveOpen([]memsim.OpenFlow{{Placement: pl, Mix: memsim.ReadOnly, Offered: load}})
+			l := res[0].Latency
+			if res[0].Achieved < load {
+				l *= load / res[0].Achieved
+			}
+			if bestLat < 0 || l < bestLat {
+				bestLat = l
+			}
+		}
+		if lat > bestLat+1e-6 {
+			t.Fatalf("load %v: chooser %s at %.1f ns, brute force %.1f ns", load, RatioLabel(n, m), lat, bestLat)
+		}
+	}
+}
+
+func TestChooseInterleaveValidation(t *testing.T) {
+	top, low := interleavePaths(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive load should panic")
+		}
+	}()
+	ChooseInterleave(top, low, memsim.ReadOnly, 0, nil)
+}
+
+func TestRatioLabel(t *testing.T) {
+	if RatioLabel(1, 0) != "MMEM" || RatioLabel(3, 1) != "3:1" {
+		t.Fatal("labels wrong")
+	}
+}
+
+// --- failure injection ---
+
+func TestDegradedCXLShiftsChoice(t *testing.T) {
+	// A CXL device retrained to half bandwidth and double latency should
+	// make the chooser keep more traffic on MMEM at a given load.
+	mA := topology.TestbedSNC()
+	topA, lowA := mA.PathFrom(0, mA.DRAMNodes(0)[0]), mA.PathFrom(0, mA.CXLNodes()[0])
+	nH, mH, _ := ChooseInterleave(topA, lowA, memsim.ReadOnly, 100, nil)
+
+	mB := topology.TestbedSNC()
+	topB, lowB := mB.PathFrom(0, mB.DRAMNodes(0)[0]), mB.PathFrom(0, mB.CXLNodes()[0])
+	mB.CXLNodes()[0].Resource().Degrade(0.25, 2.5)
+	nD, mD, _ := ChooseInterleave(topB, lowB, memsim.ReadOnly, 100, nil)
+
+	hs := float64(mH) / float64(nH+mH)
+	ds := float64(mD) / float64(nD+mD)
+	if ds >= hs {
+		t.Fatalf("degraded CXL share %.2f should be below healthy share %.2f", ds, hs)
+	}
+}
+
+func TestDegradeValidation(t *testing.T) {
+	m := topology.TestbedSNC()
+	r := m.CXLNodes()[0].Resource()
+	for name, f := range map[string]func(){
+		"bw zero": func() { r.Degrade(0, 1) },
+		"bw >1":   func() { r.Degrade(1.5, 1) },
+		"lat <1":  func() { r.Degrade(0.5, 0.9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDegradeAffectsAnchors(t *testing.T) {
+	m := topology.TestbedSNC()
+	node := m.CXLNodes()[0]
+	p := m.PathFrom(0, node)
+	before := p.PeakBandwidth(memsim.Mix2to1)
+	idleBefore := p.IdleLatency(memsim.ReadOnly)
+	node.Resource().Degrade(0.5, 2)
+	if after := p.PeakBandwidth(memsim.Mix2to1); after > before*0.51 {
+		t.Fatalf("peak after degrade = %v, want ≈half of %v", after, before)
+	}
+	if idle := p.IdleLatency(memsim.ReadOnly); idle < idleBefore*1.9 {
+		t.Fatalf("idle after degrade = %v, want ≈2× %v", idle, idleBefore)
+	}
+}

@@ -1,0 +1,180 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"cxlsim/internal/memsim"
+)
+
+func TestTestbedShape(t *testing.T) {
+	m := Testbed()
+	if got := len(m.DRAMNodes(0)); got != 1 {
+		t.Fatalf("socket 0 DRAM nodes = %d, want 1 (SNC off)", got)
+	}
+	if got := len(m.CXLNodes()); got != 2 {
+		t.Fatalf("CXL nodes = %d, want 2 (two A1000 cards)", got)
+	}
+	if m.TotalDRAM() != 1024<<30 {
+		t.Fatalf("DRAM capacity = %d, want 1 TB", m.TotalDRAM())
+	}
+	if m.TotalCXL() != 512<<30 {
+		t.Fatalf("CXL capacity = %d, want 512 GB", m.TotalCXL())
+	}
+	for _, n := range m.CXLNodes() {
+		if n.Socket != 0 {
+			t.Fatal("CXL cards must be on socket 0 (§2.4)")
+		}
+	}
+}
+
+func TestTestbedSNCShape(t *testing.T) {
+	m := TestbedSNC()
+	if got := len(m.DRAMNodes(0)); got != 4 {
+		t.Fatalf("socket 0 DRAM nodes = %d, want 4 (SNC-4)", got)
+	}
+	if got := len(m.DRAMNodes(1)); got != 4 {
+		t.Fatalf("socket 1 DRAM nodes = %d, want 4", got)
+	}
+	n := m.DRAMNodes(0)[0]
+	if n.Capacity != 128<<30 {
+		t.Fatalf("SNC domain capacity = %d, want 128 GB", n.Capacity)
+	}
+	if m.TotalDRAM() != 1024<<30 {
+		t.Fatalf("total DRAM = %d, want 1 TB regardless of SNC", m.TotalDRAM())
+	}
+}
+
+func TestBaselineHasNoCXL(t *testing.T) {
+	m := Baseline()
+	if len(m.CXLNodes()) != 0 {
+		t.Fatal("baseline server must have no CXL nodes")
+	}
+}
+
+func TestPathLatenciesMatchPaper(t *testing.T) {
+	m := TestbedSNC()
+	localDDR := m.PathFrom(0, m.DRAMNodes(0)[0])
+	remoteDDR := m.PathFrom(1, m.DRAMNodes(0)[0])
+	localCXL := m.PathFrom(0, m.CXLNodes()[0])
+	remoteCXL := m.PathFrom(1, m.CXLNodes()[0])
+
+	cases := []struct {
+		name string
+		path *memsim.Path
+		want float64
+	}{
+		{"local DDR", localDDR, 97},
+		{"remote DDR", remoteDDR, 130},
+		{"local CXL", localCXL, 250.42},
+		{"remote CXL", remoteCXL, 485},
+	}
+	for _, c := range cases {
+		got := c.path.IdleLatency(memsim.ReadOnly)
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("%s idle read latency = %.2f, want %.2f", c.name, got, c.want)
+		}
+	}
+}
+
+func TestRemoteCXLBandwidthClamp(t *testing.T) {
+	m := TestbedSNC()
+	remoteCXL := m.PathFrom(1, m.CXLNodes()[0])
+	if bw := remoteCXL.PeakBandwidth(memsim.Mix2to1); math.Abs(bw-20.4) > 0.5 {
+		t.Fatalf("remote CXL 2:1 peak = %.1f, want ≈20.4 (RSF clamp)", bw)
+	}
+	localCXL := m.PathFrom(0, m.CXLNodes()[0])
+	if localCXL.PeakBandwidth(memsim.Mix2to1) < 2*remoteCXL.PeakBandwidth(memsim.Mix2to1) {
+		t.Fatal("remote CXL bandwidth should be less than half of local (§3.2: 'unexpectedly halved')")
+	}
+}
+
+func TestPathCaching(t *testing.T) {
+	m := Testbed()
+	n := m.DRAMNodes(0)[0]
+	if m.PathFrom(0, n) != m.PathFrom(0, n) {
+		t.Fatal("paths to the same node must be cached/shared")
+	}
+	if m.SSDPath() != m.SSDPath() {
+		t.Fatal("SSD path must be cached")
+	}
+}
+
+func TestSharedContentionAcrossSockets(t *testing.T) {
+	// Both sockets hammering the same DRAM node share its device.
+	m := Testbed()
+	n := m.DRAMNodes(0)[0]
+	p0 := m.PathFrom(0, n)
+	p1 := m.PathFrom(1, n)
+	res, _ := memsim.SolveOpen([]memsim.OpenFlow{
+		{Placement: memsim.SinglePath(p0), Mix: memsim.ReadOnly, Offered: 150},
+		{Placement: memsim.SinglePath(p1), Mix: memsim.ReadOnly, Offered: 150},
+	})
+	total := res[0].Achieved + res[1].Achieved
+	if total > n.Resource().Peak.At(1)+1 {
+		t.Fatalf("combined achieved %.1f exceeds device peak", total)
+	}
+}
+
+func TestNodeLookupAndBounds(t *testing.T) {
+	m := Testbed()
+	if m.Node(0).ID != 0 {
+		t.Fatal("Node(0) wrong")
+	}
+	for name, f := range map[string]func(){
+		"bad node":   func() { m.Node(99) },
+		"bad socket": func() { m.PathFrom(5, m.Nodes[0]) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"no sockets":   {Sockets: 0},
+		"negative cxl": {Sockets: 1, CXLSocket0: -1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestResourcesEnumeration(t *testing.T) {
+	m := Testbed()
+	rs := m.Resources()
+	// 2 DRAM + 2 CXL + UPI + 2 RSF + SSD = 8.
+	if len(rs) != 8 {
+		t.Fatalf("resources = %d, want 8", len(rs))
+	}
+	single := New(Config{Name: "one", Sockets: 1})
+	if single.UPI() != nil {
+		t.Fatal("single-socket machine should have no UPI")
+	}
+}
+
+func TestNodeKindString(t *testing.T) {
+	if DRAM.String() != "dram" || CXL.String() != "cxl" {
+		t.Fatal("kind strings wrong")
+	}
+}
+
+func TestSSDPathIsSlow(t *testing.T) {
+	m := Testbed()
+	ssd := m.SSDPath()
+	if ssd.IdleLatency(memsim.ReadOnly) < 10_000 {
+		t.Fatal("SSD read latency should be tens of microseconds")
+	}
+}

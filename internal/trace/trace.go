@@ -1,0 +1,164 @@
+// Package trace records and replays workload operation streams. Traces
+// decouple workload generation from execution: capture a YCSB run once
+// (or import a production keyspace trace) and replay it bit-identically
+// against different memory configurations — the methodology the paper's
+// open-sourced artifact data supports.
+//
+// Format: "CXLT" magic, a uvarint record count, then per-op records of
+// (kind uvarint, key-delta zigzag-varint). Key deltas make Zipfian traces
+// compress well under the varint coding.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"cxlsim/internal/workload"
+)
+
+// magic identifies a cxlsim trace stream.
+var magic = [4]byte{'C', 'X', 'L', 'T'}
+
+// ErrBadTrace reports a malformed trace stream.
+var ErrBadTrace = errors.New("trace: malformed trace")
+
+// Trace is an in-memory operation stream.
+type Trace struct {
+	Ops []workload.Op
+}
+
+// Record captures n operations from a generator.
+func Record(src interface{ Next() workload.Op }, n int) *Trace {
+	if n < 0 {
+		panic("trace: negative op count")
+	}
+	t := &Trace{Ops: make([]workload.Op, 0, n)}
+	for i := 0; i < n; i++ {
+		t.Ops = append(t.Ops, src.Next())
+	}
+	return t
+}
+
+// Len reports the number of operations.
+func (t *Trace) Len() int { return len(t.Ops) }
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(t.Ops)))
+	if _, err := bw.Write(buf[:n]); err != nil {
+		return err
+	}
+	prev := uint64(0)
+	for _, op := range t.Ops {
+		n = binary.PutUvarint(buf[:], uint64(op.Kind))
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		delta := int64(op.Key) - int64(prev)
+		n = binary.PutVarint(buf[:], delta)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+		prev = op.Key
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: missing magic: %v", ErrBadTrace, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadTrace, m)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: count: %v", ErrBadTrace, err)
+	}
+	const maxOps = 1 << 30
+	if count > maxOps {
+		return nil, fmt.Errorf("%w: implausible op count %d", ErrBadTrace, count)
+	}
+	t := &Trace{Ops: make([]workload.Op, 0, count)}
+	prev := uint64(0)
+	for i := uint64(0); i < count; i++ {
+		kind, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: op %d kind: %v", ErrBadTrace, i, err)
+		}
+		if kind > uint64(workload.OpScan) {
+			return nil, fmt.Errorf("%w: op %d has invalid kind %d", ErrBadTrace, i, kind)
+		}
+		delta, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: op %d key: %v", ErrBadTrace, i, err)
+		}
+		key := int64(prev) + delta
+		if key < 0 {
+			return nil, fmt.Errorf("%w: op %d key underflow", ErrBadTrace, i)
+		}
+		prev = uint64(key)
+		t.Ops = append(t.Ops, workload.Op{Kind: workload.OpKind(kind), Key: prev})
+	}
+	return t, nil
+}
+
+// Replayer yields a trace's operations in order, cycling when exhausted
+// (so a short capture can drive a long run).
+type Replayer struct {
+	t   *Trace
+	pos int
+}
+
+// NewReplayer wraps a non-empty trace.
+func NewReplayer(t *Trace) *Replayer {
+	if t == nil || len(t.Ops) == 0 {
+		panic("trace: replaying an empty trace")
+	}
+	return &Replayer{t: t}
+}
+
+// Next returns the next operation, cycling at the end.
+func (r *Replayer) Next() workload.Op {
+	op := r.t.Ops[r.pos]
+	r.pos = (r.pos + 1) % len(r.t.Ops)
+	return op
+}
+
+// Stats summarizes a trace's composition.
+type Stats struct {
+	Reads, Updates, Inserts, Scans int
+	UniqueKeys                     int
+}
+
+// Summarize computes trace statistics.
+func (t *Trace) Summarize() Stats {
+	var s Stats
+	seen := map[uint64]struct{}{}
+	for _, op := range t.Ops {
+		switch op.Kind {
+		case workload.OpRead:
+			s.Reads++
+		case workload.OpUpdate:
+			s.Updates++
+		case workload.OpInsert:
+			s.Inserts++
+		case workload.OpScan:
+			s.Scans++
+		}
+		seen[op.Key] = struct{}{}
+	}
+	s.UniqueKeys = len(seen)
+	return s
+}

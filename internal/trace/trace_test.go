@@ -1,0 +1,210 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"cxlsim/internal/kvstore"
+	"cxlsim/internal/topology"
+	"cxlsim/internal/vmm"
+	"cxlsim/internal/workload"
+)
+
+func sample(t *testing.T, n int) *Trace {
+	t.Helper()
+	return Record(workload.NewYCSB(workload.YCSBA, 1<<16, 7), n)
+}
+
+func TestRecordLen(t *testing.T) {
+	tr := sample(t, 1000)
+	if tr.Len() != 1000 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sample(t, 5000)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != tr.Len() {
+		t.Fatalf("len %d != %d", back.Len(), tr.Len())
+	}
+	for i := range tr.Ops {
+		if tr.Ops[i] != back.Ops[i] {
+			t.Fatalf("op %d: %v != %v", i, tr.Ops[i], back.Ops[i])
+		}
+	}
+}
+
+func TestCompactness(t *testing.T) {
+	tr := sample(t, 10000)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// 10k ops over a 64k keyspace: varint-delta coding should stay well
+	// under the naive 9 bytes/op.
+	if perOp := float64(buf.Len()) / 10000; perOp > 5 {
+		t.Fatalf("%.1f bytes/op, want < 5", perOp)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": []byte("NOPE1234"),
+		"truncated": append([]byte("CXLT"), 0xff),
+	}
+	for name, data := range cases {
+		if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("%s: err = %v, want ErrBadTrace", name, err)
+		}
+	}
+	// Valid header claiming absurd count.
+	big := append([]byte("CXLT"), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
+	if _, err := Read(bytes.NewReader(big)); !errors.Is(err, ErrBadTrace) {
+		t.Errorf("huge count: err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestReadRejectsBadKind(t *testing.T) {
+	var buf bytes.Buffer
+	tr := &Trace{Ops: []workload.Op{{Kind: workload.OpKind(9), Key: 1}}}
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v, want ErrBadTrace for invalid kind", err)
+	}
+}
+
+func TestReplayerCycles(t *testing.T) {
+	tr := &Trace{Ops: []workload.Op{
+		{Kind: workload.OpRead, Key: 1},
+		{Kind: workload.OpUpdate, Key: 2},
+	}}
+	r := NewReplayer(tr)
+	want := []uint64{1, 2, 1, 2, 1}
+	for i, k := range want {
+		if op := r.Next(); op.Key != k {
+			t.Fatalf("replay %d: key %d, want %d", i, op.Key, k)
+		}
+	}
+}
+
+func TestReplayerEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty trace should panic")
+		}
+	}()
+	NewReplayer(&Trace{})
+}
+
+func TestSummarize(t *testing.T) {
+	tr := &Trace{Ops: []workload.Op{
+		{Kind: workload.OpRead, Key: 1},
+		{Kind: workload.OpRead, Key: 1},
+		{Kind: workload.OpUpdate, Key: 2},
+		{Kind: workload.OpInsert, Key: 3},
+		{Kind: workload.OpScan, Key: 4},
+	}}
+	s := tr.Summarize()
+	if s.Reads != 2 || s.Updates != 1 || s.Inserts != 1 || s.Scans != 1 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.UniqueKeys != 4 {
+		t.Fatalf("unique keys = %d, want 4", s.UniqueKeys)
+	}
+}
+
+// TestReplayDrivesKVStore: a captured trace replays through the KV store
+// end-to-end and reproduces the generator-driven run exactly (same ops in
+// the same order ⇒ same throughput).
+func TestReplayDrivesKVStore(t *testing.T) {
+	tr := Record(workload.NewYCSB(workload.YCSBC, 1<<14, 3), 8000)
+
+	deploy := func() (*kvstore.Store, *vmm.Allocator) {
+		m := topology.Testbed()
+		alloc := vmm.NewAllocator(m)
+		st, err := kvstore.NewStore(m, alloc, kvstore.StoreConfig{
+			WorkingSetBytes: 100 << 30, SimKeys: 1 << 14, MaxMemoryFrac: 1,
+			Policy: vmm.Bind{Nodes: m.DRAMNodes(0)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st, alloc
+	}
+
+	st1, a1 := deploy()
+	r1 := kvstore.Run(st1, a1, kvstore.RunConfig{
+		Mix: workload.YCSBC, Ops: 4000, Seed: 3, Source: NewReplayer(tr),
+	})
+	st2, a2 := deploy()
+	r2 := kvstore.Run(st2, a2, kvstore.RunConfig{
+		Mix: workload.YCSBC, Ops: 4000, Seed: 3, Source: NewReplayer(tr),
+	})
+	if r1.ThroughputOpsPerSec != r2.ThroughputOpsPerSec {
+		t.Fatal("trace replay is not deterministic")
+	}
+	if r1.ThroughputOpsPerSec <= 0 {
+		t.Fatal("replay produced no throughput")
+	}
+}
+
+// Property: any op sequence round-trips through the codec.
+func TestPropertyRoundTrip(t *testing.T) {
+	f := func(kinds []uint8, keys []uint32) bool {
+		n := len(kinds)
+		if len(keys) < n {
+			n = len(keys)
+		}
+		tr := &Trace{}
+		for i := 0; i < n; i++ {
+			tr.Ops = append(tr.Ops, workload.Op{
+				Kind: workload.OpKind(kinds[i] % 4),
+				Key:  uint64(keys[i]),
+			})
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			return false
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if back.Len() != tr.Len() {
+			return false
+		}
+		for i := range tr.Ops {
+			if tr.Ops[i] != back.Ops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkTraceWrite(b *testing.B) {
+	tr := Record(workload.NewYCSB(workload.YCSBA, 1<<16, 7), 10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,292 @@
+// Package vmm is cxlsim's virtual memory manager: page-granularity
+// placement of application address spaces across the machine's NUMA/CXL
+// nodes, with capacity accounting, access-heat tracking, and page
+// migration — the substrate under the kernel tiering policies of §2.3.
+//
+// Pages are simulated at 2 MiB granularity by default (the kernel's THP /
+// hot-page-selection granularity class); at 4 KiB a 512 GB working set
+// would need 134M page records for no additional modeling fidelity.
+package vmm
+
+import (
+	"errors"
+	"fmt"
+
+	"cxlsim/internal/sim"
+	"cxlsim/internal/topology"
+)
+
+// DefaultPageSize is the simulation page granularity.
+const DefaultPageSize = 2 << 20
+
+// ErrNoCapacity is returned when an allocation cannot be satisfied by the
+// policy's target nodes.
+var ErrNoCapacity = errors.New("vmm: no capacity on target nodes")
+
+// Page is one simulated page.
+type Page struct {
+	Node       *topology.Node
+	Heat       float64  // decayed access counter (accesses/epoch scale)
+	LastAccess sim.Time // time of most recent touch
+}
+
+// Space is one application address space: a flat array of pages.
+type Space struct {
+	PageSize uint64
+	Pages    []Page
+}
+
+// NewSpace returns an empty space with the given page size (0 ⇒ default).
+func NewSpace(pageSize uint64) *Space {
+	if pageSize == 0 {
+		pageSize = DefaultPageSize
+	}
+	return &Space{PageSize: pageSize}
+}
+
+// Bytes reports the space's total size.
+func (s *Space) Bytes() uint64 { return uint64(len(s.Pages)) * s.PageSize }
+
+// PageFor maps a byte offset to a page index.
+func (s *Space) PageFor(offset uint64) int {
+	idx := int(offset / s.PageSize)
+	if idx < 0 || idx >= len(s.Pages) {
+		panic(fmt.Sprintf("vmm: offset %d outside space of %d pages", offset, len(s.Pages)))
+	}
+	return idx
+}
+
+// Touch records accesses to a page: weight is the number of accesses
+// (reads+writes) attributed, now stamps recency.
+func (s *Space) Touch(page int, weight float64, now sim.Time) {
+	p := &s.Pages[page]
+	p.Heat += weight
+	p.LastAccess = now
+}
+
+// DecayHeat ages all heat counters by factor (0..1) — called once per
+// epoch so Heat approximates an exponentially-weighted access rate.
+func (s *Space) DecayHeat(factor float64) {
+	if factor < 0 || factor > 1 {
+		panic("vmm: decay factor outside [0,1]")
+	}
+	for i := range s.Pages {
+		s.Pages[i].Heat *= factor
+	}
+}
+
+// NodeShare reports the fraction of pages on each node (capacity split).
+func (s *Space) NodeShare() map[*topology.Node]float64 {
+	out := map[*topology.Node]float64{}
+	if len(s.Pages) == 0 {
+		return out
+	}
+	inc := 1 / float64(len(s.Pages))
+	for i := range s.Pages {
+		out[s.Pages[i].Node] += inc
+	}
+	return out
+}
+
+// HeatShare reports the fraction of recent accesses (by heat mass)
+// served from each node — the access split that determines the app's
+// effective memory placement.
+func (s *Space) HeatShare() map[*topology.Node]float64 {
+	out := map[*topology.Node]float64{}
+	total := 0.0
+	for i := range s.Pages {
+		total += s.Pages[i].Heat
+	}
+	if total == 0 {
+		return s.NodeShare()
+	}
+	for i := range s.Pages {
+		out[s.Pages[i].Node] += s.Pages[i].Heat / total
+	}
+	return out
+}
+
+// Allocator tracks node capacity and performs allocation and migration.
+type Allocator struct {
+	machine *topology.Machine
+	used    map[int]uint64 // nodeID → bytes
+}
+
+// NewAllocator returns an allocator over the machine's nodes.
+func NewAllocator(m *topology.Machine) *Allocator {
+	return &Allocator{machine: m, used: map[int]uint64{}}
+}
+
+// Used reports bytes allocated on a node.
+func (a *Allocator) Used(n *topology.Node) uint64 { return a.used[n.ID] }
+
+// Free reports remaining bytes on a node.
+func (a *Allocator) Free(n *topology.Node) uint64 {
+	u := a.used[n.ID]
+	if u >= n.Capacity {
+		return 0
+	}
+	return n.Capacity - u
+}
+
+// Alloc grows the space by size bytes placed according to the policy.
+// On ErrNoCapacity the space is left unchanged.
+func (a *Allocator) Alloc(s *Space, size uint64, pol Policy) error {
+	pages := int((size + s.PageSize - 1) / s.PageSize)
+	placed, err := pol.place(a, s.PageSize, pages)
+	if err != nil {
+		return err
+	}
+	for _, n := range placed {
+		a.used[n.ID] += s.PageSize
+		s.Pages = append(s.Pages, Page{Node: n})
+	}
+	return nil
+}
+
+// FreeSpace releases every page of the space back to its nodes and
+// truncates the space.
+func (a *Allocator) FreeSpace(s *Space) {
+	for i := range s.Pages {
+		a.release(s.Pages[i].Node, s.PageSize)
+	}
+	s.Pages = s.Pages[:0]
+}
+
+func (a *Allocator) release(n *topology.Node, bytes uint64) {
+	if a.used[n.ID] < bytes {
+		panic("vmm: releasing more than allocated")
+	}
+	a.used[n.ID] -= bytes
+}
+
+// Migrate moves one page of the space to the destination node, updating
+// capacity accounting. Returns ErrNoCapacity when dst is full.
+func (a *Allocator) Migrate(s *Space, page int, dst *topology.Node) error {
+	p := &s.Pages[page]
+	if p.Node == dst {
+		return nil
+	}
+	if a.Free(dst) < uint64(s.PageSize) {
+		return ErrNoCapacity
+	}
+	a.release(p.Node, s.PageSize)
+	a.used[dst.ID] += s.PageSize
+	p.Node = dst
+	return nil
+}
+
+// Policy decides where new pages land.
+type Policy interface {
+	place(a *Allocator, pageSize uint64, pages int) ([]*topology.Node, error)
+}
+
+// Bind places every page on the listed nodes, filling them in order —
+// the numactl --membind analogue (§4.3 binds KeyDB wholly to MMEM or CXL).
+type Bind struct {
+	Nodes []*topology.Node
+}
+
+func (b Bind) place(a *Allocator, pageSize uint64, pages int) ([]*topology.Node, error) {
+	return fillFirst(a, b.Nodes, pageSize, pages)
+}
+
+// Preferred fills Primary first, then overflows to Fallback nodes — the
+// default kernel first-touch-with-fallback behaviour.
+type Preferred struct {
+	Primary  []*topology.Node
+	Fallback []*topology.Node
+}
+
+func (p Preferred) place(a *Allocator, pageSize uint64, pages int) ([]*topology.Node, error) {
+	return fillFirst(a, append(append([]*topology.Node{}, p.Primary...), p.Fallback...), pageSize, pages)
+}
+
+// InterleaveNM is the tiered-memory N:M interleave policy (§2.3): of
+// every N+M pages, N go to the Top nodes (round-robin) and M to the Low
+// nodes. A 4:1 ratio directs 80% of pages (and, for uniformly accessed
+// data, 80% of traffic) to the top tier.
+type InterleaveNM struct {
+	Top, Low []*topology.Node
+	N, M     int
+}
+
+func (il InterleaveNM) place(a *Allocator, pageSize uint64, pages int) ([]*topology.Node, error) {
+	if il.N < 0 || il.M < 0 || il.N+il.M == 0 {
+		return nil, fmt.Errorf("vmm: invalid interleave ratio %d:%d", il.N, il.M)
+	}
+	if len(il.Top) == 0 && il.N > 0 || len(il.Low) == 0 && il.M > 0 {
+		return nil, errors.New("vmm: interleave tier with no nodes")
+	}
+	out := make([]*topology.Node, 0, pages)
+	// Tentative placement must be atomic: track hypothetical usage.
+	tentative := map[int]uint64{}
+	free := func(n *topology.Node) uint64 {
+		f := a.Free(n)
+		t := tentative[n.ID]
+		if t >= f {
+			return 0
+		}
+		return f - t
+	}
+	pick := func(tier []*topology.Node, rr int) (*topology.Node, bool) {
+		for k := 0; k < len(tier); k++ {
+			n := tier[(rr+k)%len(tier)]
+			if free(n) >= pageSize {
+				return n, true
+			}
+		}
+		return nil, false
+	}
+	topRR, lowRR := 0, 0
+	cycle := il.N + il.M
+	for i := 0; i < pages; i++ {
+		var n *topology.Node
+		var ok bool
+		if i%cycle < il.N {
+			n, ok = pick(il.Top, topRR)
+			topRR++
+		} else {
+			n, ok = pick(il.Low, lowRR)
+			lowRR++
+		}
+		if !ok {
+			return nil, ErrNoCapacity
+		}
+		tentative[n.ID] += pageSize
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// fillFirst places pages on nodes in order, moving on when each fills.
+func fillFirst(a *Allocator, nodes []*topology.Node, pageSize uint64, pages int) ([]*topology.Node, error) {
+	if len(nodes) == 0 {
+		return nil, errors.New("vmm: policy with no nodes")
+	}
+	out := make([]*topology.Node, 0, pages)
+	tentative := map[int]uint64{}
+	ni := 0
+	for i := 0; i < pages; i++ {
+		for ni < len(nodes) {
+			n := nodes[ni]
+			if a.Free(n)-min64(tentative[n.ID], a.Free(n)) >= pageSize {
+				tentative[n.ID] += pageSize
+				out = append(out, n)
+				break
+			}
+			ni++
+		}
+		if len(out) != i+1 {
+			return nil, ErrNoCapacity
+		}
+	}
+	return out, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,199 @@
+// Package vmsched operationalizes the paper's elastic-compute analysis
+// (§4.3): a VM scheduler that packs instances onto servers with DRAM and
+// optional CXL-expanded memory, quantifying how many vCPUs a fleet can
+// actually sell — the number the closed-form elastic.RevenueModel
+// abstracts.
+//
+// Placement policy mirrors the paper's proposal: an instance's memory
+// lands in DRAM when available; once DRAM is exhausted, instances are
+// offered on CXL-backed memory at a discount (§4.3.2), keeping otherwise
+// stranded vCPUs sellable.
+package vmsched
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MemoryClass says which medium backs an instance's memory.
+type MemoryClass int
+
+// Memory classes.
+const (
+	OnDRAM MemoryClass = iota
+	OnCXL
+)
+
+// String names the class.
+func (c MemoryClass) String() string {
+	if c == OnCXL {
+		return "cxl"
+	}
+	return "dram"
+}
+
+// Instance is a VM request.
+type Instance struct {
+	Name     string
+	VCPUs    int
+	MemoryGB int
+}
+
+// Validate checks the request.
+func (i Instance) Validate() error {
+	if i.VCPUs < 1 || i.MemoryGB < 1 {
+		return fmt.Errorf("vmsched: instance %q needs positive vCPUs and memory", i.Name)
+	}
+	return nil
+}
+
+// Server is a packing target.
+type Server struct {
+	Name     string
+	VCPUs    int
+	DRAMGB   int
+	CXLGB    int // 0 = no expander
+	usedCPU  int
+	usedDRAM int
+	usedCXL  int
+}
+
+// NewServer builds a server.
+func NewServer(name string, vcpus, dramGB, cxlGB int) *Server {
+	if vcpus < 1 || dramGB < 1 || cxlGB < 0 {
+		panic("vmsched: invalid server shape")
+	}
+	return &Server{Name: name, VCPUs: vcpus, DRAMGB: dramGB, CXLGB: cxlGB}
+}
+
+// FreeVCPUs reports unsold vCPUs.
+func (s *Server) FreeVCPUs() int { return s.VCPUs - s.usedCPU }
+
+// FreeDRAM reports unallocated DRAM GB.
+func (s *Server) FreeDRAM() int { return s.DRAMGB - s.usedDRAM }
+
+// FreeCXL reports unallocated CXL GB.
+func (s *Server) FreeCXL() int { return s.CXLGB - s.usedCXL }
+
+// Placement records where an instance landed.
+type Placement struct {
+	Instance Instance
+	Server   *Server
+	Class    MemoryClass
+}
+
+// ErrNoCapacity reports an unplaceable instance.
+var ErrNoCapacity = errors.New("vmsched: no server can host instance")
+
+// Scheduler packs instances onto a fleet.
+type Scheduler struct {
+	Servers []*Server
+	// Placements in admission order.
+	Placements []Placement
+}
+
+// NewScheduler builds a scheduler over the fleet.
+func NewScheduler(servers ...*Server) *Scheduler {
+	if len(servers) == 0 {
+		panic("vmsched: empty fleet")
+	}
+	return &Scheduler{Servers: servers}
+}
+
+// Place admits one instance: first server with vCPUs and DRAM; failing
+// that, first server with vCPUs and CXL room (the §4.3 recovery path);
+// failing that, ErrNoCapacity.
+func (s *Scheduler) Place(inst Instance) (*Placement, error) {
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	for _, srv := range s.Servers {
+		if srv.FreeVCPUs() >= inst.VCPUs && srv.FreeDRAM() >= inst.MemoryGB {
+			srv.usedCPU += inst.VCPUs
+			srv.usedDRAM += inst.MemoryGB
+			p := Placement{Instance: inst, Server: srv, Class: OnDRAM}
+			s.Placements = append(s.Placements, p)
+			return &s.Placements[len(s.Placements)-1], nil
+		}
+	}
+	for _, srv := range s.Servers {
+		if srv.FreeVCPUs() >= inst.VCPUs && srv.FreeCXL() >= inst.MemoryGB {
+			srv.usedCPU += inst.VCPUs
+			srv.usedCXL += inst.MemoryGB
+			p := Placement{Instance: inst, Server: srv, Class: OnCXL}
+			s.Placements = append(s.Placements, p)
+			return &s.Placements[len(s.Placements)-1], nil
+		}
+	}
+	return nil, fmt.Errorf("%w: %s (%d vCPU, %d GB)", ErrNoCapacity, inst.Name, inst.VCPUs, inst.MemoryGB)
+}
+
+// PackAll admits as many instances as possible, largest-first (FFD), and
+// returns the leftovers.
+func (s *Scheduler) PackAll(insts []Instance) (rejected []Instance) {
+	sorted := append([]Instance(nil), insts...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		return sorted[i].VCPUs > sorted[j].VCPUs
+	})
+	for _, in := range sorted {
+		if _, err := s.Place(in); err != nil {
+			rejected = append(rejected, in)
+		}
+	}
+	return rejected
+}
+
+// FleetReport summarizes sellability and the revenue picture.
+type FleetReport struct {
+	TotalVCPUs   int
+	SoldDRAM     int     // vCPUs sold on DRAM-backed instances
+	SoldCXL      int     // vCPUs sold on CXL-backed instances
+	Stranded     int     // unsold vCPUs
+	RevenueUnits float64 // 1.0 per DRAM vCPU, (1-discount) per CXL vCPU
+}
+
+// SellableFrac is the fraction of fleet vCPUs sold.
+func (r FleetReport) SellableFrac() float64 {
+	if r.TotalVCPUs == 0 {
+		return 0
+	}
+	return float64(r.SoldDRAM+r.SoldCXL) / float64(r.TotalVCPUs)
+}
+
+// Report computes the fleet summary; cxlDiscount is the price discount on
+// CXL-backed instances (paper example: 0.20).
+func (s *Scheduler) Report(cxlDiscount float64) FleetReport {
+	if cxlDiscount < 0 || cxlDiscount >= 1 {
+		panic("vmsched: discount outside [0,1)")
+	}
+	var r FleetReport
+	for _, srv := range s.Servers {
+		r.TotalVCPUs += srv.VCPUs
+	}
+	for _, p := range s.Placements {
+		if p.Class == OnDRAM {
+			r.SoldDRAM += p.Instance.VCPUs
+			r.RevenueUnits += float64(p.Instance.VCPUs)
+		} else {
+			r.SoldCXL += p.Instance.VCPUs
+			r.RevenueUnits += float64(p.Instance.VCPUs) * (1 - cxlDiscount)
+		}
+	}
+	r.Stranded = r.TotalVCPUs - r.SoldDRAM - r.SoldCXL
+	return r
+}
+
+// StandardInstances builds n identical 1:4-ratio instances (the AWS-style
+// canonical shape, §4.3).
+func StandardInstances(n, vcpus int) []Instance {
+	out := make([]Instance, n)
+	for i := range out {
+		out[i] = Instance{
+			Name:     fmt.Sprintf("vm-%d", i),
+			VCPUs:    vcpus,
+			MemoryGB: vcpus * 4,
+		}
+	}
+	return out
+}

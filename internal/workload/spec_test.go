@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+const workloadA = `
+# Yahoo! Cloud System Benchmark
+# Workload A: Update heavy workload
+workload=site.ycsb.workloads.CoreWorkload
+recordcount=1000000
+operationcount=1000000
+readallfields=true
+readproportion=0.5
+updateproportion=0.5
+scanproportion=0
+insertproportion=0
+requestdistribution=zipfian
+`
+
+func TestParseSpecWorkloadA(t *testing.T) {
+	mix, records, err := ParseSpec(strings.NewReader(workloadA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Read != 0.5 || mix.Update != 0.5 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	if records != 1_000_000 {
+		t.Fatalf("records = %d", records)
+	}
+	if mix.Distribution != "zipfian" {
+		t.Fatalf("distribution = %q", mix.Distribution)
+	}
+	if mix.DefaultValueSize != 1000 {
+		t.Fatalf("value size = %d, want 1000 (10×100 YCSB default)", mix.DefaultValueSize)
+	}
+	// And the parsed spec must drive the generator.
+	y := NewYCSB(mix, records, 1)
+	reads := 0
+	for i := 0; i < 10000; i++ {
+		if y.Next().Kind == OpRead {
+			reads++
+		}
+	}
+	if rf := float64(reads) / 10000; math.Abs(rf-0.5) > 0.03 {
+		t.Fatalf("generated read fraction %.3f, want ≈0.5", rf)
+	}
+}
+
+func TestParseSpecLatestAndFields(t *testing.T) {
+	spec := `
+readproportion=0.95
+insertproportion=0.05
+updateproportion=0
+scanproportion=0
+requestdistribution=latest
+recordcount=500
+fieldcount=4
+fieldlength=256
+`
+	mix, records, err := ParseSpec(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Distribution != "latest" || records != 500 {
+		t.Fatalf("mix = %+v records = %d", mix, records)
+	}
+	if mix.DefaultValueSize != 1024 {
+		t.Fatalf("value size = %d, want 1024", mix.DefaultValueSize)
+	}
+}
+
+func TestParseSpecUniformMapsToZipfianAPI(t *testing.T) {
+	spec := "readproportion=1\nrequestdistribution=uniform\n"
+	mix, _, err := ParseSpec(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mix.Distribution != "zipfian" {
+		t.Fatalf("uniform should map to the zipfian generator family, got %q", mix.Distribution)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := map[string]string{
+		"no equals":    "readproportion 0.5\n",
+		"bad fraction": "readproportion=1.5\n",
+		"bad dist":     "readproportion=1\nrequestdistribution=hotspot\n",
+		"zero records": "readproportion=1\nrecordcount=0\n",
+		"no ops":       "scanproportion=0\n",
+		"sum too big":  "readproportion=0.9\nupdateproportion=0.9\n",
+		"bad fields":   "readproportion=1\nfieldcount=0\n",
+	}
+	for name, spec := range cases {
+		if _, _, err := ParseSpec(strings.NewReader(spec)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestParseSpecIgnoresDriverKeys(t *testing.T) {
+	spec := `
+readproportion=1
+threadcount=64
+target=10000
+exportfile=/tmp/out
+`
+	if _, _, err := ParseSpec(strings.NewReader(spec)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformRange(t *testing.T) {
+	u := NewUniform(100, 1)
+	for i := 0; i < 10000; i++ {
+		if v := u.Next(); v >= 100 {
+			t.Fatalf("uniform produced %d outside [0,100)", v)
+		}
+	}
+	if u.N() != 100 {
+		t.Fatalf("N = %d", u.N())
+	}
+}
+
+func TestUniformCoverage(t *testing.T) {
+	u := NewUniform(10, 2)
+	seen := map[uint64]bool{}
+	for i := 0; i < 10000; i++ {
+		seen[u.Next()] = true
+	}
+	if len(seen) != 10 {
+		t.Fatalf("uniform over 10 items hit only %d", len(seen))
+	}
+}
+
+func TestUniformEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=0")
+		}
+	}()
+	NewUniform(0, 1)
+}
+
+func TestZipfianRange(t *testing.T) {
+	z := NewZipfian(1000, 7)
+	for i := 0; i < 100000; i++ {
+		if v := z.Next(); v >= 1000 {
+			t.Fatalf("zipfian produced %d outside [0,1000)", v)
+		}
+	}
+}
+
+func TestZipfianSkew(t *testing.T) {
+	z := NewZipfian(10000, 3)
+	counts := make([]int, 10000)
+	const draws = 500000
+	for i := 0; i < draws; i++ {
+		counts[z.Next()]++
+	}
+	// Item 0 must be by far the most popular: under theta=0.99 over 10k
+	// items it should receive several percent of all draws.
+	if frac := float64(counts[0]) / draws; frac < 0.03 {
+		t.Fatalf("hottest item got %.4f of draws, want > 0.03", frac)
+	}
+	// Top-100 items should dominate: >50% of mass.
+	top := 0
+	for i := 0; i < 100; i++ {
+		top += counts[i]
+	}
+	if frac := float64(top) / draws; frac < 0.5 {
+		t.Fatalf("top-100 items got %.3f of draws, want > 0.5", frac)
+	}
+	// Popularity must broadly decrease: first decile ≥ last decile.
+	first, last := 0, 0
+	for i := 0; i < 1000; i++ {
+		first += counts[i]
+		last += counts[9000+i]
+	}
+	if first <= last {
+		t.Fatalf("zipfian not decreasing: first decile %d, last %d", first, last)
+	}
+}
+
+func TestZipfianBadParamsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipfian(0, 1) },
+		func() { NewZipfianTheta(10, 0, 1) },
+		func() { NewZipfianTheta(10, 1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestScrambledZipfianSpreads(t *testing.T) {
+	s := NewScrambledZipfian(10000, 11)
+	counts := map[uint64]int{}
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := s.Next()
+		if v >= 10000 {
+			t.Fatalf("scrambled zipfian out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Skew preserved: the hottest key should still carry several % of
+	// draws, but it should NOT be key 0 specifically (scrambling).
+	maxKey, maxCount := uint64(0), 0
+	for k, c := range counts {
+		if c > maxCount {
+			maxKey, maxCount = k, c
+		}
+	}
+	if frac := float64(maxCount) / draws; frac < 0.03 {
+		t.Fatalf("hottest scrambled key got %.4f, want > 0.03", frac)
+	}
+	_ = maxKey // key identity is arbitrary; only skew matters
+}
+
+func TestLatestFavorsNewest(t *testing.T) {
+	l := NewLatest(1000, 5)
+	hi := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := l.Next()
+		if v >= 1000 {
+			t.Fatalf("latest out of range: %d", v)
+		}
+		if v >= 900 {
+			hi++
+		}
+	}
+	if frac := float64(hi) / draws; frac < 0.5 {
+		t.Fatalf("newest decile got %.3f of draws, want > 0.5", frac)
+	}
+}
+
+func TestLatestInsertShiftsHotSet(t *testing.T) {
+	l := NewLatest(100, 9)
+	idx := l.Insert()
+	if idx != 100 {
+		t.Fatalf("insert returned %d, want 100", idx)
+	}
+	if l.N() != 101 {
+		t.Fatalf("N after insert = %d, want 101", l.N())
+	}
+	// The new item should now be drawable and hot.
+	seenNew := 0
+	for i := 0; i < 10000; i++ {
+		if l.Next() == 100 {
+			seenNew++
+		}
+	}
+	if seenNew == 0 {
+		t.Fatal("newly inserted item never drawn")
+	}
+}
+
+func TestHotspot(t *testing.T) {
+	h := NewHotspot(1000, 100, 0.9, 13)
+	hot := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := h.Next()
+		if v >= 1000 {
+			t.Fatalf("hotspot out of range: %d", v)
+		}
+		if v < 100 {
+			hot++
+		}
+	}
+	frac := float64(hot) / draws
+	if math.Abs(frac-0.9) > 0.02 {
+		t.Fatalf("hot fraction = %.3f, want ≈0.9", frac)
+	}
+}
+
+func TestHotspotDegenerate(t *testing.T) {
+	// hotItems == n: all accesses in [0,n) regardless of branch.
+	h := NewHotspot(10, 10, 0.5, 1)
+	for i := 0; i < 1000; i++ {
+		if h.Next() >= 10 {
+			t.Fatal("out of range")
+		}
+	}
+}
+
+func TestHotspotBadParamsPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHotspot(0, 1, 0.5, 1) },
+		func() { NewHotspot(10, 0, 0.5, 1) },
+		func() { NewHotspot(10, 11, 0.5, 1) },
+		func() { NewHotspot(10, 5, 1.5, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSequentialCycles(t *testing.T) {
+	s := NewSequential(3)
+	want := []uint64{0, 1, 2, 0, 1}
+	for i, w := range want {
+		if v := s.Next(); v != w {
+			t.Fatalf("seq[%d] = %d, want %d", i, v, w)
+		}
+	}
+}
+
+func TestYCSBMixRatios(t *testing.T) {
+	for _, mix := range StandardMixes() {
+		total := mix.Read + mix.Update + mix.Insert + mix.Scan
+		if math.Abs(total-1.0) > 1e-9 {
+			t.Errorf("%s ratios sum to %v, want 1", mix.Name, total)
+		}
+		if mix.DefaultValueSize != 1024 {
+			t.Errorf("%s value size %d, want 1024 (paper default)", mix.Name, mix.DefaultValueSize)
+		}
+	}
+}
+
+func TestYCSBAOpDistribution(t *testing.T) {
+	y := NewYCSB(YCSBA, 10000, 21)
+	var reads, updates int
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		op := y.Next()
+		switch op.Kind {
+		case OpRead:
+			reads++
+		case OpUpdate:
+			updates++
+		default:
+			t.Fatalf("YCSB-A produced unexpected op %v", op.Kind)
+		}
+	}
+	if rf := float64(reads) / draws; math.Abs(rf-0.5) > 0.02 {
+		t.Fatalf("YCSB-A read fraction %.3f, want ≈0.5", rf)
+	}
+}
+
+func TestYCSBCReadOnly(t *testing.T) {
+	y := NewYCSB(YCSBC, 1000, 22)
+	for i := 0; i < 10000; i++ {
+		if op := y.Next(); op.Kind != OpRead {
+			t.Fatalf("YCSB-C produced %v", op.Kind)
+		}
+	}
+}
+
+func TestYCSBDInsertGrows(t *testing.T) {
+	y := NewYCSB(YCSBD, 1000, 23)
+	start := y.Records()
+	inserts := 0
+	for i := 0; i < 10000; i++ {
+		if op := y.Next(); op.Kind == OpInsert {
+			inserts++
+			if op.Key < start {
+				t.Fatalf("insert key %d below initial space %d", op.Key, start)
+			}
+		}
+	}
+	if inserts == 0 {
+		t.Fatal("YCSB-D produced no inserts")
+	}
+	if y.Records() != start+uint64(inserts) {
+		t.Fatalf("records = %d, want %d", y.Records(), start+uint64(inserts))
+	}
+}
+
+func TestYCSBUnknownDistributionPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewYCSB(YCSBMix{Name: "bad", Read: 1, Distribution: "nope"}, 10, 1)
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpRead.String() != "READ" || OpUpdate.String() != "UPDATE" ||
+		OpInsert.String() != "INSERT" || OpScan.String() != "SCAN" {
+		t.Fatal("OpKind strings wrong")
+	}
+	if OpKind(99).String() == "" {
+		t.Fatal("unknown OpKind should still render")
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	a, b := NewYCSB(YCSBA, 1000, 77), NewYCSB(YCSBA, 1000, 77)
+	for i := 0; i < 1000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa != ob {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, oa, ob)
+		}
+	}
+}
+
+// Property: every generator stays within its item space.
+func TestPropertyGeneratorsInRange(t *testing.T) {
+	f := func(seed int64, nRaw uint16) bool {
+		n := uint64(nRaw%1000) + 2
+		gens := []Generator{
+			NewUniform(n, seed),
+			NewZipfian(n, seed),
+			NewScrambledZipfian(n, seed),
+			NewLatest(n, seed),
+			NewHotspot(n, n/2+1, 0.8, seed),
+			NewSequential(n),
+		}
+		for _, g := range gens {
+			for i := 0; i < 200; i++ {
+				if g.Next() >= g.N() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZipfianNext(b *testing.B) {
+	z := NewZipfian(1<<20, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
+
+func BenchmarkScrambledZipfianNext(b *testing.B) {
+	z := NewScrambledZipfian(1<<20, 1)
+	for i := 0; i < b.N; i++ {
+		z.Next()
+	}
+}
+
+func BenchmarkYCSBNext(b *testing.B) {
+	y := NewYCSB(YCSBA, 1<<20, 1)
+	for i := 0; i < b.N; i++ {
+		y.Next()
+	}
+}
