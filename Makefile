@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# check is the gate: vet, build, and the full test suite under the race
+# detector.
+check: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem

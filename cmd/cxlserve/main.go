@@ -3,9 +3,12 @@
 //
 // Usage:
 //
-//	cxlserve -addr :8080 -policy 3:1 -backends 5
+//	cxlserve                       # defaults: -addr :8080 -policy MMEM -backends 4
+//	cxlserve -policy 3:1 -backends 5
 //	curl -XPOST localhost:8080/generate -d '{"prompt":"hi","max_tokens":64}'
-//	curl localhost:8080/metrics
+//	curl localhost:8080/metrics        # Prometheus text exposition
+//	curl localhost:8080/metrics.json   # legacy JSON metrics
+//	curl localhost:8080/trace.json     # Chrome trace-event JSON (Perfetto)
 package main
 
 import (
@@ -13,14 +16,17 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"strings"
 
 	"cxlsim/internal/llm"
 	"cxlsim/internal/llmserve"
+	"cxlsim/internal/obs"
 )
 
 func main() {
+	names := policyNames()
 	addr := flag.String("addr", ":8080", "listen address")
-	policy := flag.String("policy", "MMEM", "placement policy: MMEM, 3:1, 1:1, or 1:3")
+	policy := flag.String("policy", "MMEM", "placement policy: "+strings.Join(names, ", "))
 	backends := flag.Int("backends", 4, "CPU inference backends (12 threads each)")
 	flag.Parse()
 
@@ -33,13 +39,32 @@ func main() {
 		}
 	}
 	if chosen == nil {
-		log.Fatalf("cxlserve: unknown policy %q", *policy)
+		log.Fatalf("cxlserve: unknown policy %q (want one of %s)", *policy, strings.Join(names, ", "))
 	}
 	if *backends < 1 {
 		log.Fatal("cxlserve: need at least one backend")
 	}
 
-	s := llmserve.New(llm.NewCluster(), *chosen, *backends)
-	fmt.Printf("cxlserve: policy=%s backends=%d listening on %s\n", chosen.Name, *backends, *addr)
+	cluster := llm.NewCluster()
+	s := llmserve.New(cluster, *chosen, *backends)
+	// Publish the solver's per-resource utilization/bandwidth gauges into
+	// the server's registry so /metrics exposes them alongside the serving
+	// counters; priming one ServingRate call makes the gauge family live
+	// before the first request arrives.
+	obs.InstrumentMemsim(s.Registry())
+	rate := cluster.ServingRate(*chosen, *backends)
+
+	fmt.Printf("cxlserve: policy=%s backends=%d rate=%.0f tok/s listening on %s\n",
+		chosen.Name, *backends, rate.TokensPerSec, *addr)
 	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+}
+
+// policyNames lists the valid -policy values in figure order.
+func policyNames() []string {
+	ps := llm.Fig10Policies()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
 }

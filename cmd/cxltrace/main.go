@@ -1,0 +1,110 @@
+// Command cxltrace runs one fully-instrumented experiment and writes its
+// virtual-time trace as Chrome trace-event JSON, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing. The trace carries spans
+// from the sim kernel, the kvstore request path, the tiering daemon, and
+// the memory-interference solver — all on the simulation's virtual clock,
+// so the same seed always produces the same file.
+//
+// Usage:
+//
+//	cxltrace -config Hot-Promote -workload A -out trace.json
+//	cxltrace -config 1:1 -workload B -ops 20000 -metrics metrics.prom
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"cxlsim/internal/kvstore"
+	"cxlsim/internal/obs"
+	"cxlsim/internal/workload"
+)
+
+func main() {
+	config := flag.String("config", "Hot-Promote", "Table-1 configuration (see cxlycsb -list-configs)")
+	wl := flag.String("workload", "A", "built-in YCSB workload: A, B, C, or D")
+	ops := flag.Int("ops", 40_000, "measured operations")
+	seed := flag.Int64("seed", 42, "workload seed")
+	out := flag.String("out", "trace.json", "trace output path")
+	metrics := flag.String("metrics", "", "also write a Prometheus text snapshot here")
+	limit := flag.Int("limit", 0, "cap recorded trace events (0 = unlimited)")
+	flag.Parse()
+
+	mix, err := resolveMix(*wl)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := kvstore.Deploy(kvstore.ConfigName(*config), kvstore.DeployOptions{SimKeys: 1 << 16})
+	if err != nil {
+		fatal(err)
+	}
+	d.Warm(mix, 120, 100_000, *seed)
+
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	tr.SetLimit(*limit)
+	obs.InstrumentMemsim(reg)
+	defer obs.InstrumentMemsim(nil)
+
+	rc := d.RunConfigFor(mix, *seed)
+	rc.Ops = *ops
+	rc.Metrics = reg
+	rc.Tracer = tr
+	res := kvstore.Run(d.Store, d.Alloc, rc)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	if *metrics != "" {
+		mf, err := os.Create(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		if err := obs.WriteProm(mf, reg.Snapshot()); err != nil {
+			fatal(err)
+		}
+		if err := mf.Close(); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("cxltrace: %s/%s seed=%d: %.0f ops/s, p99 %.2f ms, %d B migrated\n",
+		*config, mix.Name, *seed, res.ThroughputOpsPerSec, res.P99Ms(), res.Migrated)
+	fmt.Printf("cxltrace: wrote %s (%d events", *out, tr.Len())
+	if dropped := tr.Dropped(); dropped > 0 {
+		fmt.Printf(", %d dropped by -limit", dropped)
+	}
+	fmt.Printf("; tracks: %s)\n", strings.Join(tr.Tracks(), ", "))
+	if *metrics != "" {
+		fmt.Printf("cxltrace: wrote %s\n", *metrics)
+	}
+	fmt.Println("cxltrace: open the trace at https://ui.perfetto.dev or chrome://tracing")
+}
+
+func resolveMix(name string) (workload.YCSBMix, error) {
+	switch strings.ToUpper(name) {
+	case "A":
+		return workload.YCSBA, nil
+	case "B":
+		return workload.YCSBB, nil
+	case "C":
+		return workload.YCSBC, nil
+	case "D":
+		return workload.YCSBD, nil
+	}
+	return workload.YCSBMix{}, fmt.Errorf("unknown workload %q (want A-D)", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "cxltrace: %v\n", err)
+	os.Exit(1)
+}

@@ -6,6 +6,7 @@
 //
 //	cxlycsb -config MMEM -workload A
 //	cxlycsb -config 1:1 -spec path/to/workloada -ops 50000
+//	cxlycsb -config Hot-Promote -workload B -trace trace.json  # open in Perfetto
 //	cxlycsb -list-configs
 package main
 
@@ -16,6 +17,7 @@ import (
 	"strings"
 
 	"cxlsim/internal/kvstore"
+	"cxlsim/internal/obs"
 	"cxlsim/internal/workload"
 )
 
@@ -25,6 +27,8 @@ func main() {
 	spec := flag.String("spec", "", "path to a YCSB property file (overrides -workload)")
 	ops := flag.Int("ops", 40_000, "measured operations")
 	seed := flag.Int64("seed", 42, "workload seed")
+	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (virtual time; load in Perfetto)")
+	metrics := flag.String("metrics", "", "write a Prometheus text snapshot of the run's metrics")
 	list := flag.Bool("list-configs", false, "list configurations and exit")
 	flag.Parse()
 
@@ -53,7 +57,31 @@ func main() {
 	d.Warm(mix, 120, 100_000, *seed)
 	rc := d.RunConfigFor(mix, *seed)
 	rc.Ops = *ops
+
+	instrumented := *trace != "" || *metrics != ""
+	if instrumented {
+		rc.Metrics = obs.NewRegistry()
+		rc.Tracer = obs.NewTracer()
+		obs.InstrumentMemsim(rc.Metrics)
+		defer obs.InstrumentMemsim(nil)
+	}
 	res := kvstore.Run(d.Store, d.Alloc, rc)
+
+	if *trace != "" {
+		if err := writeTrace(*trace, rc.Tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cxlycsb: wrote %s (%d events, tracks: %s)\n",
+			*trace, rc.Tracer.Len(), strings.Join(rc.Tracer.Tracks(), ", "))
+	}
+	if *metrics != "" {
+		if err := writeMetrics(*metrics, rc.Metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cxlycsb: wrote %s\n", *metrics)
+	}
 
 	// YCSB-client-flavoured report.
 	fmt.Printf("[OVERALL], Configuration, %s\n", *config)
@@ -67,6 +95,33 @@ func main() {
 	if res.Migrated > 0 {
 		fmt.Printf("[TIERING], MigratedBytes, %d\n", res.Migrated)
 	}
+}
+
+// writeTrace serializes the run's virtual-time trace as Chrome
+// trace-event JSON.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeMetrics dumps the registry in Prometheus text format.
+func writeMetrics(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteProm(f, reg.Snapshot()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // resolveWorkload picks the op mix from a spec file or the built-ins.

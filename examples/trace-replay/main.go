@@ -1,17 +1,23 @@
 // trace-replay demonstrates the trace workflow: capture a YCSB operation
 // stream once, serialize it, and replay the identical stream against two
 // memory configurations — the apples-to-apples comparison methodology the
-// paper's artifact release supports.
+// paper's artifact release supports. Each replay runs instrumented: a
+// per-run obs registry supplies the metrics summary, and -trace writes
+// the second (CXL) replay's virtual-time timeline as Chrome trace-event
+// JSON for Perfetto.
 //
-// Run with: go run ./examples/trace-replay
+// Run with: go run ./examples/trace-replay [-trace out.json]
 package main
 
 import (
 	"bytes"
+	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"cxlsim/internal/kvstore"
+	"cxlsim/internal/obs"
 	"cxlsim/internal/topology"
 	"cxlsim/internal/trace"
 	"cxlsim/internal/vmm"
@@ -19,6 +25,8 @@ import (
 )
 
 func main() {
+	traceOut := flag.String("trace", "", "write the CXL replay's Chrome trace-event JSON here")
+	flag.Parse()
 	const simKeys = 1 << 14
 
 	// Capture 20k YCSB-B operations.
@@ -38,8 +46,9 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Replay against MMEM-bound and CXL-bound stores.
-	run := func(label string, pick func(*topology.Machine) []*topology.Node) {
+	// Replay against MMEM-bound and CXL-bound stores, each with its own
+	// metrics registry; the second replay also records a timeline.
+	run := func(label string, pick func(*topology.Machine) []*topology.Node, otr *obs.Tracer) kvstore.Result {
 		m := topology.Testbed()
 		alloc := vmm.NewAllocator(m)
 		st, err := kvstore.NewStore(m, alloc, kvstore.StoreConfig{
@@ -51,13 +60,36 @@ func main() {
 		}
 		res := kvstore.Run(st, alloc, kvstore.RunConfig{
 			Mix: workload.YCSBB, Ops: 10_000, Seed: 7,
-			Source: trace.NewReplayer(back),
+			Source:  trace.NewReplayer(back),
+			Metrics: obs.NewRegistry(),
+			Tracer:  otr,
 		})
 		fmt.Printf("%-5s %8.0f ops/s   p50 %5.1f µs   p99 %5.1f µs\n",
 			label, res.ThroughputOpsPerSec,
 			res.Latency.Percentile(50)/1e3, res.Latency.Percentile(99)/1e3)
+		return res
 	}
 	fmt.Println("replaying the identical stream:")
-	run("MMEM", func(m *topology.Machine) []*topology.Node { return m.DRAMNodes(0) })
-	run("CXL", func(m *topology.Machine) []*topology.Node { return m.CXLNodes() })
+	run("MMEM", func(m *topology.Machine) []*topology.Node { return m.DRAMNodes(0) }, nil)
+	otr := obs.NewTracer()
+	res := run("CXL", func(m *topology.Machine) []*topology.Node { return m.CXLNodes() }, otr)
+
+	// Three-line metrics summary of the CXL replay.
+	fmt.Printf("\nops completed:  %d\n", res.Latency.Count())
+	fmt.Printf("migrated bytes: %d\n", res.Migrated)
+	fmt.Printf("p99 latency:    %.1f µs\n", res.Latency.Percentile(99)/1e3)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := otr.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d events) — open at https://ui.perfetto.dev\n", *traceOut, otr.Len())
+	}
 }

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"fmt"
 
+	"cxlsim/internal/obs"
 	"cxlsim/internal/sim"
 	"cxlsim/internal/stats"
 	"cxlsim/internal/tiering"
@@ -40,6 +41,18 @@ type RunConfig struct {
 	Tiers  tiering.Tiers
 
 	EpochNs float64 // co-simulation epoch (default 10 ms)
+
+	// Metrics, when non-nil, publishes the run's instrumentation into
+	// the registry: per-op counters (kvstore_ops_total), the latency
+	// histograms (which Result then shares), sim-kernel counters, and
+	// per-resource utilization gauges. Use a fresh registry per run —
+	// families are get-or-create, so reusing one accumulates across
+	// runs and later Results alias earlier histograms.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records a virtual-time timeline: one span
+	// per measured op, tiering daemon tick spans, epoch utilization
+	// counters, and sampled sim queue depth.
+	Tracer *obs.Tracer
 }
 
 func (rc *RunConfig) fill() {
@@ -102,6 +115,32 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 		ReadLatency: stats.NewLatencyHistogram(),
 	}
 
+	// Observability wiring. All sinks are optional; with both nil the
+	// run is exactly the uninstrumented hot path.
+	instrumented := rc.Metrics != nil || rc.Tracer != nil
+	var (
+		latH, readH *obs.Histogram
+		opsC        *obs.CounterVec
+	)
+	if instrumented {
+		eng.SetObserver(obs.NewKernelObserver(rc.Metrics, rc.Tracer, 0))
+	}
+	if rc.Metrics != nil {
+		latH = rc.Metrics.Histogram("kvstore_op_latency_ns",
+			"client-observed op latency (queue + service + RTT), ns", stats.NewLatencyHistogram)
+		readH = rc.Metrics.Histogram("kvstore_read_latency_ns",
+			"client-observed read latency, ns", stats.NewLatencyHistogram)
+		opsC = rc.Metrics.CounterVec("kvstore_ops_total", "operations completed, by kind", "kind")
+		// Result shares the registry's histograms so exposition and the
+		// returned measurements are one source of truth.
+		res.Latency = latH.Unwrap()
+		res.ReadLatency = readH.Unwrap()
+	}
+	daemon := rc.Daemon
+	if instrumented && daemon != nil {
+		daemon = obs.InstrumentDaemon(daemon, rc.Metrics, rc.Tracer)
+	}
+
 	type pending struct {
 		op    workload.Op
 		issue sim.Time
@@ -120,13 +159,25 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 		if completed == rc.WarmupOps {
 			measureStart = now
 		}
+		if opsC != nil {
+			opsC.With(p.op.Kind.String()).Inc()
+		}
 		if completed > rc.WarmupOps {
 			measuredOps++
 			l := float64(now-p.issue) + rc.NetworkRTTNs
-			res.Latency.Add(l)
-			if p.op.Kind == workload.OpRead {
-				res.ReadLatency.Add(l)
+			if latH != nil {
+				latH.Observe(l)
+			} else {
+				res.Latency.Add(l)
 			}
+			if p.op.Kind == workload.OpRead {
+				if readH != nil {
+					readH.Observe(l)
+				} else {
+					res.ReadLatency.Add(l)
+				}
+			}
+			rc.Tracer.Span("kvstore", p.op.Kind.String(), p.issue, now, nil)
 		}
 		if completed+len(queue)+(rc.ServerThreads-free) < totalOps {
 			queue = append(queue, pending{op: gen.Next(), issue: now})
@@ -146,13 +197,17 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 	// Epoch ticker: resolve memory contention, run the tiering daemon,
 	// age heat.
 	ticker := eng.Every(sim.Time(rc.EpochNs), func(now sim.Time) {
-		if rc.Daemon != nil {
-			rep := rc.Daemon.Tick(now, store.Space(), alloc)
+		if daemon != nil {
+			rep := daemon.Tick(now, store.Space(), alloc)
 			res.Migrated += rep.TotalBytes()
 			chargeMigration(store, rc.Tiers, rep)
 		}
 		store.EpochFlows(rc.EpochNs)
 		store.Space().DecayHeat(0.5)
+		if instrumented {
+			util, peaks := store.EpochUtilization()
+			obs.RecordUtilization(rc.Metrics, rc.Tracer, now, util, peaks)
+		}
 	})
 
 	for i := 0; i < rc.ClientThreads; i++ {

@@ -99,6 +99,11 @@ type Store struct {
 	nodeLatency map[*topology.Node]float64
 	ssdLatency  float64
 
+	// Most recent epoch-solve utilization, by resource name, plus each
+	// resource's best-case peak (GB/s) for bandwidth estimation.
+	lastUtil map[string]float64
+	lastPeak map[string]float64
+
 	depth float64 // serialized accesses per op (cost model)
 	lines float64 // value cachelines per op
 
@@ -409,6 +414,14 @@ func (s *Store) EpochFlows(epochNs float64) {
 	s.ssdReadBytes, s.ssdWriteBytes = 0, 0
 }
 
+// EpochUtilization returns the per-resource utilization snapshot from
+// the most recent epoch solve (resource name → capacity fraction) and
+// the matching best-case peak bandwidths (GB/s). The maps are live;
+// callers must not mutate them. Nil before the first epoch.
+func (s *Store) EpochUtilization() (util, peakGBps map[string]float64) {
+	return s.lastUtil, s.lastPeak
+}
+
 // AddMigrationTraffic charges page-migration bytes (read from src, write
 // to dst) into the epoch accumulators so tiering contends with the app.
 func (s *Store) AddMigrationTraffic(src, dst *topology.Node, bytes float64) {
@@ -421,6 +434,16 @@ func (s *Store) refreshLatencies(flows []memsim.OpenFlow) {
 	var util memsim.Utilization
 	if len(flows) > 0 {
 		_, util = memsim.SolveOpen(flows)
+	}
+	// Retain a by-name copy for observability consumers (obs gauges,
+	// pcm counters, trace timelines).
+	if s.lastUtil == nil {
+		s.lastUtil = map[string]float64{}
+		s.lastPeak = map[string]float64{}
+	}
+	for r, u := range util {
+		s.lastUtil[r.Name] = u
+		s.lastPeak[r.Name] = r.Peak.Max()
 	}
 	nodes := map[*topology.Node]bool{}
 	for i := range s.space.Pages {

@@ -7,6 +7,14 @@
 // The service answers in wall-clock time but reports *virtual* latencies:
 // it is a functional demonstration of the stack (useful for driving the
 // simulator from external tooling), not a wall-clock benchmark.
+//
+// Observability: every server owns an obs.Registry (Prometheus text at
+// /metrics, JSON snapshot at /metrics.json) and an obs.Tracer recording
+// per-request virtual-time spans (Chrome trace-event JSON at
+// /trace.json). Requests advance a virtual backend timeline: each
+// backend serves back-to-back, so the gap between a request's admission
+// frontier and its backend becoming free is its queue wait — the cost of
+// round-robin routing versus least-loaded.
 package llmserve
 
 import (
@@ -17,7 +25,14 @@ import (
 	"sync/atomic"
 
 	"cxlsim/internal/llm"
+	"cxlsim/internal/obs"
+	"cxlsim/internal/sim"
+	"cxlsim/internal/stats"
 )
+
+// traceEventLimit bounds the server's in-memory trace so a long-lived
+// service cannot grow without bound.
+const traceEventLimit = 1 << 16
 
 // Request is one generation call.
 type Request struct {
@@ -30,6 +45,7 @@ type Response struct {
 	Backend          int     `json:"backend"`
 	Tokens           int     `json:"tokens"`
 	VirtualLatencyMs float64 `json:"virtual_latency_ms"`
+	QueueWaitMs      float64 `json:"queue_wait_ms"`
 	TokensPerSec     float64 `json:"tokens_per_sec"`
 	Policy           string  `json:"policy"`
 }
@@ -40,11 +56,21 @@ type Server struct {
 	policy   llm.Policy
 	backends int
 
+	reg    *obs.Registry
+	tracer *obs.Tracer
+
+	requestsC   *obs.Counter
+	tokensC     *obs.Counter
+	reqLatency  *obs.Histogram
+	queueWait   *obs.Histogram
+	clusterRate *obs.Gauge
+
 	next      atomic.Uint64 // round-robin router cursor
 	mu        sync.Mutex
 	served    uint64
 	tokens    uint64
 	virtualNs float64
+	busyUntil []float64 // per-backend virtual timeline, ns
 }
 
 // New builds a server with n backends under a placement policy.
@@ -52,14 +78,49 @@ func New(c *llm.Cluster, policy llm.Policy, backends int) *Server {
 	if backends < 1 {
 		panic("llmserve: need at least one backend")
 	}
-	return &Server{cluster: c, policy: policy, backends: backends}
+	reg := obs.NewRegistry()
+	tr := obs.NewTracer()
+	tr.SetLimit(traceEventLimit)
+	s := &Server{
+		cluster: c, policy: policy, backends: backends,
+		reg: reg, tracer: tr,
+		busyUntil: make([]float64, backends),
+	}
+	s.requestsC = reg.CounterVec("llmserve_requests_total",
+		"generation requests served", "policy").With(policy.Name)
+	s.tokensC = reg.CounterVec("llmserve_tokens_total",
+		"tokens generated", "policy").With(policy.Name)
+	s.reqLatency = reg.Histogram("llmserve_request_virtual_ns",
+		"virtual generation latency per request, ns", stats.NewLatencyHistogram)
+	s.queueWait = reg.Histogram("llmserve_queue_wait_ns",
+		"virtual wait for the routed backend beyond the admission frontier, ns",
+		stats.NewLatencyHistogram)
+	s.clusterRate = reg.Gauge("llmserve_cluster_tokens_per_sec",
+		"steady-state cluster serving rate under the current policy")
+	return s
 }
 
-// Handler returns the HTTP mux: POST /generate and GET /metrics.
+// Registry exposes the server's metrics registry (e.g. for pcm sampling
+// or merging into a process-wide exporter).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Tracer exposes the server's virtual-time tracer.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Handler returns the HTTP mux:
+//
+//	POST /generate     — run one generation
+//	GET  /metrics      — Prometheus text exposition
+//	GET  /metrics.json — legacy JSON metrics (the pre-obs payload)
+//	GET  /trace.json   — Chrome trace-event JSON of request spans
+//	GET  /debug/...    — pprof and expvar
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/generate", s.handleGenerate)
-	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.Handle("/metrics", obs.PromHandler(s.reg))
+	mux.Handle("/metrics.json", http.HandlerFunc(s.handleMetricsJSON))
+	mux.HandleFunc("/trace.json", s.handleTrace)
+	obs.RegisterDebug(mux)
 	return mux
 }
 
@@ -90,16 +151,42 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	perBackendRate := sp.TokensPerSec / float64(s.backends)
 	virtualNs := float64(req.MaxTokens) / perBackendRate * 1e9
 
+	// Advance the virtual backend timeline: the request starts when its
+	// backend frees up; the frontier (least-loaded backend) is when a
+	// perfect router could have started it.
 	s.mu.Lock()
+	frontier := s.busyUntil[0]
+	for _, b := range s.busyUntil[1:] {
+		if b < frontier {
+			frontier = b
+		}
+	}
+	start := s.busyUntil[backend]
+	wait := start - frontier
+	end := start + virtualNs
+	s.busyUntil[backend] = end
 	s.served++
 	s.tokens += uint64(req.MaxTokens)
 	s.virtualNs += virtualNs
 	s.mu.Unlock()
 
+	s.requestsC.Inc()
+	s.tokensC.Add(float64(req.MaxTokens))
+	s.reqLatency.Observe(virtualNs)
+	s.queueWait.Observe(wait)
+	s.clusterRate.Set(sp.TokensPerSec)
+	s.tracer.Span("llmserve", "generate/"+s.policy.Name,
+		sim.Time(start), sim.Time(end), map[string]any{
+			"backend":       backend,
+			"tokens":        req.MaxTokens,
+			"queue_wait_ns": wait,
+		})
+
 	resp := Response{
 		Backend:          backend,
 		Tokens:           req.MaxTokens,
 		VirtualLatencyMs: virtualNs / 1e6,
+		QueueWaitMs:      wait / 1e6,
 		TokensPerSec:     perBackendRate,
 		Policy:           s.policy.Name,
 	}
@@ -110,7 +197,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// Metrics is the /metrics payload.
+// Metrics is the /metrics.json payload (the pre-obs /metrics shape,
+// kept for compatibility).
 type Metrics struct {
 	Requests       uint64  `json:"requests"`
 	Tokens         uint64  `json:"tokens"`
@@ -120,7 +208,7 @@ type Metrics struct {
 	ClusterTokRate float64 `json:"cluster_tokens_per_sec"`
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		http.Error(w, "GET only", http.StatusMethodNotAllowed)
 		return
@@ -139,6 +227,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.ClusterTokRate = s.cluster.ServingRate(s.policy, s.backends).TokensPerSec
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(m); err != nil {
+		return
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.tracer.WriteJSON(w); err != nil {
 		return
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 
@@ -105,12 +106,12 @@ func TestDefaultsAndErrors(t *testing.T) {
 	}
 }
 
-func TestMetrics(t *testing.T) {
+func TestMetricsJSON(t *testing.T) {
 	_, ts := newTestServer(t, 1, 2)
 	for i := 0; i < 5; i++ {
 		generate(t, ts, `{"max_tokens":10}`)
 	}
-	resp, err := http.Get(ts.URL + "/metrics")
+	resp, err := http.Get(ts.URL + "/metrics.json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,4 +161,114 @@ func TestNewValidation(t *testing.T) {
 		}
 	}()
 	New(llm.NewCluster(), llm.Fig10Policies()[0], 0)
+}
+
+func TestMetricsPrometheus(t *testing.T) {
+	_, ts := newTestServer(t, 1, 2)
+	for i := 0; i < 4; i++ {
+		generate(t, ts, `{"max_tokens":10}`)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"# TYPE llmserve_requests_total counter",
+		`llmserve_requests_total{policy="3:1"} 4`,
+		"# TYPE llmserve_cluster_tokens_per_sec gauge",
+		"# TYPE llmserve_request_virtual_ns histogram",
+		"llmserve_request_virtual_ns_count 4",
+		`llmserve_request_virtual_ns_bucket{le="+Inf"} 4`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestTraceEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, 0, 2)
+	for i := 0; i < 3; i++ {
+		generate(t, ts, `{"max_tokens":10}`)
+	}
+	resp, err := http.Get(ts.URL + "/trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	// 1 thread_name metadata + 3 request spans.
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("trace has %d events, want 4", len(doc.TraceEvents))
+	}
+	if s.Tracer().Len() != 3 {
+		t.Fatalf("tracer recorded %d spans, want 3", s.Tracer().Len())
+	}
+}
+
+func TestQueueWaitReflectsRouterImbalance(t *testing.T) {
+	// With one backend every request after the first waits for the
+	// previous one (frontier == the single backend's timeline, so wait
+	// is 0); with two backends and round-robin, waits stay 0 while the
+	// timelines advance evenly. The key invariant: waits are finite,
+	// non-negative, and the virtual timeline is monotone.
+	_, ts := newTestServer(t, 0, 2)
+	for i := 0; i < 6; i++ {
+		_, out := generate(t, ts, `{"max_tokens":10}`)
+		if out.QueueWaitMs < 0 {
+			t.Fatalf("negative queue wait %v", out.QueueWaitMs)
+		}
+	}
+}
+
+// TestConcurrentMetricsAndGenerate exercises registry writes (generate)
+// racing snapshots (/metrics) under -race: the satellite coverage for
+// concurrent registry access from HTTP handlers.
+func TestConcurrentMetricsAndGenerate(t *testing.T) {
+	s, ts := newTestServer(t, 0, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/generate", "application/json",
+				bytes.NewBufferString(`{"max_tokens":4}`))
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for _, path := range []string{"/metrics", "/metrics.json", "/trace.json"} {
+				resp, err := http.Get(ts.URL + path)
+				if err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Registry().Snapshot()
+	fam, ok := snap.Find("llmserve_requests_total")
+	if !ok || len(fam.Metrics) != 1 {
+		t.Fatalf("requests family = %+v", fam)
+	}
+	if got := fam.Metrics[0].Value; got != 16 {
+		t.Fatalf("requests counter = %v, want 16", got)
+	}
 }

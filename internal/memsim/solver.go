@@ -57,9 +57,38 @@ func (fr FlowResult) OpsPerSec(bytesPerOp float64) float64 {
 // the pcm package exposes these as counters.
 type Utilization map[*Resource]float64
 
+// SolveObserver receives a callback after every solver pass with the
+// pass kind ("open" or "closed"), the flow count, and the final
+// utilization snapshot. The obs package installs the standard
+// implementation (counter + gauge families); see obs.InstrumentMemsim.
+type SolveObserver func(kind string, flows int, util Utilization)
+
+// solveObserver is process-global because the solvers are package-level
+// functions. It must be installed before solving begins (commands do it
+// at startup); swapping it concurrently with active solves is a race.
+var solveObserver SolveObserver
+
+// SetSolveObserver installs (or, with nil, removes) the solve observer.
+func SetSolveObserver(o SolveObserver) { solveObserver = o }
+
+func observeSolve(kind string, flows int, util Utilization) {
+	if solveObserver != nil {
+		solveObserver(kind, flows, util)
+	}
+}
+
 // SolveOpen resolves a set of offered-load flows sharing resources.
 // Returned results are index-aligned with flows.
 func SolveOpen(flows []OpenFlow) ([]FlowResult, Utilization) {
+	results, util := solveOpen(flows)
+	observeSolve("open", len(flows), util)
+	return results, util
+}
+
+// solveOpen is SolveOpen without the observer callback; SolveClosed's
+// inner fixed-point iterations use it so a closed solve reports as one
+// observation, not hundreds.
+func solveOpen(flows []OpenFlow) ([]FlowResult, Utilization) {
 	resources := collectOpen(flows)
 	for _, r := range resources {
 		r.resetDemand()
@@ -146,7 +175,7 @@ func SolveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
 			}
 			open[i] = OpenFlow{Placement: f.Placement, Mix: f.Mix, Offered: demand}
 		}
-		results, util = SolveOpen(open)
+		results, util = solveOpen(open)
 		maxRel := 0.0
 		for i, f := range flows {
 			newLat := results[i].Latency + f.ThinkNs
@@ -174,7 +203,8 @@ func SolveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
 		}
 		open[i] = OpenFlow{Placement: f.Placement, Mix: f.Mix, Offered: demand}
 	}
-	results, util = SolveOpen(open)
+	results, util = solveOpen(open)
+	observeSolve("closed", len(flows), util)
 	// At the fixed point a closed flow's achieved bandwidth equals its
 	// offered load (injection self-limits through latency), and
 	// results[i].Latency is the memory-only loaded latency; callers add

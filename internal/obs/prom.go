@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteProm renders a registry snapshot in the Prometheus text exposition
+// format (version 0.0.4). Histograms are emitted with cumulative
+// _bucket{le=...} series over their non-empty buckets plus the mandatory
+// +Inf bucket, _sum, and _count; underflow observations (below the
+// histogram base) are included in every cumulative bucket and in _count,
+// but not in _sum (their exact values are unknown).
+func WriteProm(w io.Writer, snap Snapshot) error {
+	for _, f := range snap.Families {
+		if f.Help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.Name, escapeHelp(f.Help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.Name, f.Kind); err != nil {
+			return err
+		}
+		for _, m := range f.Metrics {
+			base := labelString(f.Labels, m.LabelValues, "")
+			switch f.Kind {
+			case KindCounter, KindGauge:
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.Name, base, formatValue(m.Value)); err != nil {
+					return err
+				}
+			case KindHistogram:
+				h := m.Histogram
+				var cum uint64 = h.Underflow
+				for _, b := range h.Buckets {
+					cum += b.Count
+					le := labelString(f.Labels, m.LabelValues, formatValue(b.UpperBound))
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, le, cum); err != nil {
+						return err
+					}
+				}
+				inf := labelString(f.Labels, m.LabelValues, "+Inf")
+				total := h.Count + h.Underflow
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, inf, total); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, base, formatValue(h.Sum)); err != nil {
+					return err
+				}
+				if _, err := fmt.Fprintf(w, "%s_count%s %d\n", f.Name, base, total); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// labelString renders {a="x",b="y"} (plus le when non-empty), or "".
+func labelString(names, values []string, le string) string {
+	if len(names) == 0 && le == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		// Go's %q escaping (backslash, quote, \n) covers exactly what
+		// the Prometheus label-value syntax requires.
+		fmt.Fprintf(&b, "%s=%q", n, values[i])
+	}
+	if le != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	return strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(s)
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"cxlsim/internal/sim"
+)
+
+// Tracer records virtual-time spans, instants, and counter samples and
+// serializes them as Chrome trace-event JSON (the format Perfetto and
+// chrome://tracing load natively).
+//
+// Timestamps are sim.Time (virtual nanoseconds) converted to the
+// format's microsecond unit; no wall-clock value is ever recorded, so a
+// deterministic simulation produces a byte-identical trace on every run.
+//
+// A nil *Tracer is valid and ignores every call, letting instrumented
+// code stay branch-free. All methods are safe for concurrent use.
+type Tracer struct {
+	mu      sync.Mutex
+	events  []traceEvent
+	tracks  map[string]int // track name → synthetic tid
+	order   []string       // tracks in first-use order
+	limit   int            // 0 = unlimited
+	dropped uint64
+}
+
+// traceEvent is one Chrome trace-event record. Field names follow the
+// trace-event format spec.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewTracer returns an empty tracer with no event limit.
+func NewTracer() *Tracer {
+	return &Tracer{tracks: map[string]int{}}
+}
+
+// SetLimit caps the number of recorded events (0 = unlimited). Events
+// past the cap are counted in Dropped instead of stored, keeping worst-
+// case memory bounded while staying deterministic.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// usec converts virtual nanoseconds to the trace format's microseconds.
+func usec(v sim.Time) float64 { return float64(v) / 1e3 }
+
+func (t *Tracer) record(ev traceEvent, track string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		return
+	}
+	tid, ok := t.tracks[track]
+	if !ok {
+		tid = len(t.order) + 1
+		t.tracks[track] = tid
+		t.order = append(t.order, track)
+	}
+	ev.Pid = 1
+	ev.Tid = tid
+	t.events = append(t.events, ev)
+}
+
+// Span records a complete duration event on the named track.
+func (t *Tracer) Span(track, name string, start, end sim.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	if end < start {
+		start, end = end, start
+	}
+	t.record(traceEvent{Name: name, Cat: track, Ph: "X", Ts: usec(start), Dur: usec(end - start), Args: args}, track)
+}
+
+// Instant records a point event on the named track.
+func (t *Tracer) Instant(track, name string, at sim.Time, args map[string]any) {
+	if t == nil {
+		return
+	}
+	t.record(traceEvent{Name: name, Cat: track, Ph: "i", Ts: usec(at), Args: args}, track)
+}
+
+// Counter records a counter sample: Perfetto renders each series in
+// values as a stacked timeline.
+func (t *Tracer) Counter(track, name string, at sim.Time, values map[string]float64) {
+	if t == nil {
+		return
+	}
+	args := make(map[string]any, len(values))
+	for k, v := range values {
+		args[k] = v
+	}
+	t.record(traceEvent{Name: name, Cat: track, Ph: "C", Ts: usec(at), Args: args}, track)
+}
+
+// Len reports how many events are recorded.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Dropped reports how many events the limit discarded.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Tracks lists track names in first-use order.
+func (t *Tracer) Tracks() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.order...)
+}
+
+// WriteJSON serializes the trace in Chrome trace-event JSON object form:
+// thread-name metadata first (one synthetic thread per track), then the
+// recorded events in recording order. Output is deterministic for a
+// deterministic recording: encoding/json sorts map keys, and no
+// wall-clock value is present.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	if t == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+
+	if _, err := io.WriteString(w, `{"displayTimeUnit":"ms","traceEvents":[`); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	first := true
+	emit := func(ev any) error {
+		if !first {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		first = false
+		// json.Encoder appends a newline per value, which the format
+		// tolerates and which keeps the file diffable.
+		return enc.Encode(ev)
+	}
+	for i, track := range t.order {
+		meta := traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: i + 1,
+			Args: map[string]any{"name": track},
+		}
+		if err := emit(meta); err != nil {
+			return err
+		}
+	}
+	for _, ev := range t.events {
+		if err := emit(ev); err != nil {
+			return err
+		}
+	}
+	if t.dropped > 0 {
+		if err := emit(traceEvent{
+			Name: "obs_dropped_events", Ph: "M", Pid: 1,
+			Args: map[string]any{"dropped": t.dropped},
+		}); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}")
+	return err
+}
+
+// String summarizes the tracer for debugging.
+func (t *Tracer) String() string {
+	if t == nil {
+		return "tracer{nil}"
+	}
+	return fmt.Sprintf("tracer{%d events, %d tracks, %d dropped}", t.Len(), len(t.Tracks()), t.Dropped())
+}

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Span("a", "b", 0, 1, nil)
+	tr.Instant("a", "b", 0, nil)
+	tr.Counter("a", "b", 0, nil)
+	tr.SetLimit(10)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.Tracks() != nil {
+		t.Fatal("nil tracer should report empty state")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil tracer JSON invalid: %v", err)
+	}
+}
+
+func TestTracerRecordsAndSerializes(t *testing.T) {
+	tr := NewTracer()
+	tr.Span("kvstore", "read", 100, 300, map[string]any{"key": 7})
+	tr.Span("tiering", "tick", 400, 200, nil) // reversed: must swap
+	tr.Instant("kvstore", "epoch", 500, nil)
+	tr.Counter("memsim", "utilization", 600, map[string]float64{"dram0": 0.5})
+
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	tracks := tr.Tracks()
+	if len(tracks) != 3 || tracks[0] != "kvstore" || tracks[1] != "tiering" || tracks[2] != "memsim" {
+		t.Fatalf("tracks = %v", tracks)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace JSON invalid: %v\n%s", err, buf.String())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	// 3 thread_name metadata + 4 events.
+	if len(doc.TraceEvents) != 7 {
+		t.Fatalf("serialized %d events, want 7", len(doc.TraceEvents))
+	}
+	for i := 0; i < 3; i++ {
+		if doc.TraceEvents[i].Ph != "M" || doc.TraceEvents[i].Name != "thread_name" {
+			t.Fatalf("event %d should be thread_name metadata: %+v", i, doc.TraceEvents[i])
+		}
+	}
+	read := doc.TraceEvents[3]
+	if read.Ph != "X" || read.Ts != 0.1 || read.Dur != 0.2 {
+		t.Fatalf("span = %+v (ns→µs conversion wrong?)", read)
+	}
+	swapped := doc.TraceEvents[4]
+	if swapped.Ts != 0.2 || swapped.Dur != 0.2 {
+		t.Fatalf("reversed span not normalized: %+v", swapped)
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(2)
+	for i := 0; i < 5; i++ {
+		tr.Instant("t", "x", 0, nil)
+	}
+	if tr.Len() != 2 || tr.Dropped() != 3 {
+		t.Fatalf("len=%d dropped=%d, want 2/3", tr.Len(), tr.Dropped())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("obs_dropped_events")) {
+		t.Fatal("dropped-event metadata missing from output")
+	}
+}

@@ -1,8 +1,14 @@
 // Package pcm is the simulation analogue of Intel's Performance Counter
-// Monitor: it samples per-resource utilization and bandwidth from solver
-// snapshots so experiments can report the counters the paper quotes
-// (e.g. "UPI utilization is consistently below 30%", §3.2; the bandwidth
-// plateaus of Fig. 10(b,c)).
+// Monitor: it samples per-resource utilization and bandwidth so
+// experiments can report the counters the paper quotes (e.g. "UPI
+// utilization is consistently below 30%", §3.2; the bandwidth plateaus
+// of Fig. 10(b,c)).
+//
+// Samples come from either a raw solver snapshot (Record) or — the
+// preferred path since the obs layer became the system-wide counter
+// source — from the canonical obs gauge families that instrumented
+// subsystems keep updated (RecordFromRegistry). Either way pcm is a thin
+// consumer: it aggregates what others measure.
 package pcm
 
 import (
@@ -10,6 +16,7 @@ import (
 	"sort"
 
 	"cxlsim/internal/memsim"
+	"cxlsim/internal/obs"
 	"cxlsim/internal/sim"
 	"cxlsim/internal/stats"
 )
@@ -47,6 +54,36 @@ func (m *Monitor) Record(at sim.Time, util memsim.Utilization) {
 			m.perRes[r.Name] = sum
 		}
 		sum.Add(u)
+	}
+	m.samples = append(m.samples, s)
+}
+
+// RecordFromRegistry appends a sample read from the obs registry's
+// canonical per-resource gauge families (obs.MetricUtilization and
+// obs.MetricBandwidth), which obs.InstrumentMemsim and the kvstore epoch
+// loop keep current. It records nothing if the registry has no
+// utilization family yet.
+func (m *Monitor) RecordFromRegistry(at sim.Time, reg *obs.Registry) {
+	snap := reg.Snapshot()
+	uf, ok := snap.Find(obs.MetricUtilization)
+	if !ok || len(uf.Metrics) == 0 {
+		return
+	}
+	s := Sample{At: at, Utilization: map[string]float64{}, Bandwidth: map[string]float64{}}
+	for _, mt := range uf.Metrics {
+		name := mt.LabelValues[0]
+		s.Utilization[name] = mt.Value
+		sum := m.perRes[name]
+		if sum == nil {
+			sum = &stats.Summary{}
+			m.perRes[name] = sum
+		}
+		sum.Add(mt.Value)
+	}
+	if bf, ok := snap.Find(obs.MetricBandwidth); ok {
+		for _, mt := range bf.Metrics {
+			s.Bandwidth[mt.LabelValues[0]] = mt.Value
+		}
 	}
 	m.samples = append(m.samples, s)
 }

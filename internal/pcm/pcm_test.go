@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cxlsim/internal/memsim"
+	"cxlsim/internal/obs"
 	"cxlsim/internal/topology"
 )
 
@@ -92,5 +93,34 @@ func TestResourcesSortedAndString(t *testing.T) {
 	}
 	if !strings.Contains(mon.String(), "samples") {
 		t.Fatal("String() malformed")
+	}
+}
+
+func TestMonitorReadsFromObsRegistry(t *testing.T) {
+	m := topology.TestbedSNC()
+	reg := obs.NewRegistry()
+	obs.InstrumentMemsim(reg)
+	defer obs.InstrumentMemsim(nil)
+
+	node := m.DRAMNodes(0)[0]
+	p := m.PathFrom(0, node)
+	_, _ = memsim.SolveOpen([]memsim.OpenFlow{
+		{Placement: memsim.SinglePath(p), Mix: memsim.ReadOnly, Offered: 33.5},
+	})
+
+	mon := NewMonitor()
+	mon.RecordFromRegistry(0, reg)
+	if got := mon.MeanUtilization(node.Name); math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("mean utilization via obs = %v, want ≈0.5", got)
+	}
+	if bw := mon.Samples()[0].Bandwidth[node.Name]; bw < 30 || bw > 37 {
+		t.Fatalf("bandwidth via obs = %v, want ≈33.5", bw)
+	}
+
+	// An empty registry records nothing.
+	empty := NewMonitor()
+	empty.RecordFromRegistry(0, obs.NewRegistry())
+	if len(empty.Samples()) != 0 {
+		t.Fatalf("empty registry produced %d samples", len(empty.Samples()))
 	}
 }

@@ -90,6 +90,21 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Observer receives kernel lifecycle callbacks. Implementations must be
+// passive: they may record but must not schedule, cancel, or otherwise
+// mutate the engine, or determinism is forfeit. The obs package provides
+// the standard implementation (metrics + virtual-time tracing).
+type Observer interface {
+	// EventScheduled fires after an event is enqueued for time at;
+	// pending is the queue depth including the new event.
+	EventScheduled(at Time, pending int)
+	// EventFired fires as the clock advances to now, before the event's
+	// callback runs; pending excludes the firing event.
+	EventFired(now Time, pending int)
+	// EventCanceled fires when a pending event is descheduled.
+	EventCanceled(now Time, pending int)
+}
+
 // Engine is a discrete-event simulator instance. The zero value is not
 // usable; call NewEngine.
 type Engine struct {
@@ -97,12 +112,18 @@ type Engine struct {
 	queue  eventHeap
 	nextSq uint64
 	fired  uint64
+	obs    Observer
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
 func NewEngine() *Engine {
 	return &Engine{}
 }
+
+// SetObserver installs (or, with nil, removes) the engine's observer.
+// One observer per engine; installing mid-run only affects subsequent
+// events.
+func (e *Engine) SetObserver(o Observer) { e.obs = o }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() Time { return e.now }
@@ -125,6 +146,9 @@ func (e *Engine) At(t Time, fn func(now Time)) *Event {
 	ev := &Event{at: t, seq: e.nextSq, fn: fn}
 	e.nextSq++
 	heap.Push(&e.queue, ev)
+	if e.obs != nil {
+		e.obs.EventScheduled(t, len(e.queue))
+	}
 	return ev
 }
 
@@ -141,6 +165,9 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	heap.Remove(&e.queue, ev.idx)
 	ev.idx = -1
+	if e.obs != nil {
+		e.obs.EventCanceled(e.now, len(e.queue))
+	}
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
@@ -153,6 +180,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.at
 	ev.done = true
 	e.fired++
+	if e.obs != nil {
+		e.obs.EventFired(e.now, len(e.queue))
+	}
 	ev.fn(e.now)
 	return true
 }

@@ -291,3 +291,65 @@ func BenchmarkEngineStep(b *testing.B) {
 		e.Step()
 	}
 }
+
+type countingObserver struct {
+	scheduled, fired, canceled int
+	lastPending                int
+}
+
+func (o *countingObserver) EventScheduled(at Time, pending int) {
+	o.scheduled++
+	o.lastPending = pending
+}
+func (o *countingObserver) EventFired(now Time, pending int) {
+	o.fired++
+	o.lastPending = pending
+}
+func (o *countingObserver) EventCanceled(now Time, pending int) {
+	o.canceled++
+	o.lastPending = pending
+}
+
+func TestObserverCallbacks(t *testing.T) {
+	e := NewEngine()
+	var o countingObserver
+	e.SetObserver(&o)
+	e.After(10, func(Time) {})
+	ev := e.After(20, func(Time) {})
+	e.Cancel(ev)
+	e.Run()
+	if o.scheduled != 2 || o.fired != 1 || o.canceled != 1 {
+		t.Fatalf("observer = %+v", o)
+	}
+	if o.lastPending != 0 {
+		t.Fatalf("final pending = %d, want 0", o.lastPending)
+	}
+	// Observed counts must agree with the engine's own accounting.
+	if e.Fired() != 1 {
+		t.Fatalf("engine fired = %d", e.Fired())
+	}
+}
+
+func TestObserverDoesNotPerturbDeterminism(t *testing.T) {
+	run := func(obs Observer) []Time {
+		e := NewEngine()
+		e.SetObserver(obs)
+		var order []Time
+		for i := 0; i < 50; i++ {
+			d := Time((i * 37) % 17)
+			e.After(d, func(now Time) { order = append(order, now) })
+		}
+		e.Run()
+		return order
+	}
+	plain := run(nil)
+	observed := run(&countingObserver{})
+	if len(plain) != len(observed) {
+		t.Fatalf("lengths differ: %d vs %d", len(plain), len(observed))
+	}
+	for i := range plain {
+		if plain[i] != observed[i] {
+			t.Fatalf("order diverges at %d: %v vs %v", i, plain[i], observed[i])
+		}
+	}
+}

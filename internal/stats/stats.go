@@ -235,6 +235,48 @@ func (h *Histogram) Merge(o *Histogram) {
 	h.sum.Merge(o.sum)
 }
 
+// Bucket is one histogram bucket in a snapshot: the count of in-range
+// observations with value < UpperBound's next bound and ≥ the previous
+// bound. The final (clamp) bucket reports UpperBound = +Inf because
+// overflowing observations are clamped into it.
+type Bucket struct {
+	UpperBound float64 // exclusive upper edge of the bucket
+	Count      uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state,
+// sufficient for Prometheus-style exposition: total count, exact sum,
+// underflow count, and the non-empty buckets in ascending bound order.
+type HistogramSnapshot struct {
+	Count     uint64   // in-range observations
+	Sum       float64  // exact sum of in-range observations
+	Underflow uint64   // observations below the histogram base
+	Buckets   []Bucket // non-empty buckets only, ascending
+}
+
+// Snapshot captures the histogram's current state. Empty histograms
+// return a zero snapshot with no buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Count:     h.sum.Count(),
+		Sum:       h.sum.Mean() * float64(h.sum.Count()),
+		Underflow: h.under,
+	}
+	for b, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		ub := h.base * math.Exp(h.lnRatio*float64(b+1))
+		if b == len(h.counts)-1 {
+			// The last bucket absorbs clamped overflow; its true upper
+			// edge is unbounded.
+			ub = math.Inf(1)
+		}
+		snap.Buckets = append(snap.Buckets, Bucket{UpperBound: ub, Count: c})
+	}
+	return snap
+}
+
 // Reset clears all recorded observations.
 func (h *Histogram) Reset() {
 	for i := range h.counts {

@@ -347,3 +347,71 @@ func BenchmarkSummaryAdd(b *testing.B) {
 		s.Add(float64(i))
 	}
 }
+
+func TestHistogramSnapshotEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	snap := h.Snapshot()
+	if snap.Count != 0 || snap.Sum != 0 || snap.Underflow != 0 {
+		t.Fatalf("empty snapshot = %+v", snap)
+	}
+	if len(snap.Buckets) != 0 {
+		t.Fatalf("empty histogram has %d buckets", len(snap.Buckets))
+	}
+}
+
+func TestHistogramSnapshotBasic(t *testing.T) {
+	h := NewHistogram(1, 3, 10) // 1 .. 1000
+	for _, v := range []float64{2, 2, 50, 500} {
+		h.Add(v)
+	}
+	h.Add(0.5) // underflow
+	snap := h.Snapshot()
+	if snap.Count != 4 {
+		t.Fatalf("count = %d, want 4", snap.Count)
+	}
+	if snap.Underflow != 1 {
+		t.Fatalf("underflow = %d, want 1", snap.Underflow)
+	}
+	if math.Abs(snap.Sum-554) > 1e-9 {
+		t.Fatalf("sum = %v, want 554", snap.Sum)
+	}
+	var total uint64
+	last := 0.0
+	for _, b := range snap.Buckets {
+		if b.Count == 0 {
+			t.Fatalf("snapshot contains empty bucket %+v", b)
+		}
+		if b.UpperBound <= last {
+			t.Fatalf("bucket bounds not ascending: %v after %v", b.UpperBound, last)
+		}
+		last = b.UpperBound
+		total += b.Count
+	}
+	if total != snap.Count {
+		t.Fatalf("bucket counts sum to %d, want %d", total, snap.Count)
+	}
+	// Every observation must fall strictly below its bucket's bound.
+	if got := snap.Buckets[0].Count; got != 2 {
+		t.Fatalf("first bucket count = %d, want the two 2.0 observations", got)
+	}
+}
+
+func TestHistogramSnapshotClampedOverflow(t *testing.T) {
+	h := NewHistogram(1, 2, 5) // covers 1 .. 100; larger values clamp
+	h.Add(10)
+	h.Add(1e9) // clamped into the final bucket
+	snap := h.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("count = %d, want 2", snap.Count)
+	}
+	lastB := snap.Buckets[len(snap.Buckets)-1]
+	if !math.IsInf(lastB.UpperBound, 1) {
+		t.Fatalf("clamp bucket bound = %v, want +Inf", lastB.UpperBound)
+	}
+	if lastB.Count != 1 {
+		t.Fatalf("clamp bucket count = %d, want 1", lastB.Count)
+	}
+	if math.Abs(snap.Sum-(10+1e9)) > 1 {
+		t.Fatalf("sum = %v, want exact sum incl. clamped value", snap.Sum)
+	}
+}
