@@ -1,6 +1,8 @@
 GO ?= go
+BENCH_DATE := $(shell date +%Y%m%d)
+BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all build vet test race check bench
+.PHONY: all build vet test race check bench bench-build
 
 all: build
 
@@ -16,9 +18,19 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the gate: vet, build, and the full test suite under the race
-# detector.
-check: vet build race
+# check is the gate: vet, build, the full test suite under the race
+# detector, and a build-only smoke of the benchmarks (compiles every
+# benchmark without running it, so bit-rot in bench code fails the gate
+# cheaply).
+check: vet build race bench-build
 
+# bench records a benchstat-comparable baseline: 5 repetitions of every
+# benchmark with allocation stats, captured to BENCH_<date>.json. Compare
+# two baselines with `benchstat old new` (not vendored here).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem -count=5 ./... | tee $(BENCH_OUT)
+
+# bench-build compiles test+benchmark code without executing any tests or
+# benchmarks (-run with a pattern that matches nothing).
+bench-build:
+	$(GO) test -run=NoSuchTest -bench=NoSuchBench ./... > /dev/null

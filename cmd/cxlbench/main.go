@@ -3,16 +3,23 @@
 //
 // Usage:
 //
-//	cxlbench [-quick] [-seed N] all
+//	cxlbench [-quick] [-seed N] [-parallel N] all
 //	cxlbench [-quick] [-seed N] fig3 fig5 table3 ...
 //	cxlbench -list
+//
+// Experiments fan out onto -parallel worker goroutines (default
+// GOMAXPROCS); tables are byte-identical at any parallelism. Elapsed
+// wall-clock per experiment goes to stderr so piped table/CSV output
+// stays clean.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"cxlsim/internal/core"
 )
@@ -22,8 +29,9 @@ func main() {
 	seed := flag.Int64("seed", 0, "workload seed (0 = default 42)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	format := flag.String("format", "table", "output format: table or csv")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per experiment fan-out (1 = serial)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cxlbench [-quick] [-seed N] all | <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: cxlbench [-quick] [-seed N] [-parallel N] all | <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(core.Experiments(), " "))
 		flag.PrintDefaults()
 	}
@@ -38,14 +46,20 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opt := core.Options{Quick: *quick, Seed: *seed}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "cxlbench: -parallel must be >= 1\n")
+		os.Exit(2)
+	}
+	opt := core.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
 
 	ids := args
 	if len(args) == 1 && args[0] == "all" {
 		ids = core.Experiments()
 	}
 	for _, id := range ids {
+		start := time.Now()
 		rep, err := core.Run(id, opt)
+		elapsed := time.Since(start)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
 			os.Exit(1)
@@ -62,5 +76,6 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cxlbench: unknown format %q\n", *format)
 			os.Exit(2)
 		}
+		fmt.Fprintf(os.Stderr, "cxlbench: %s in %s (parallel=%d)\n", id, elapsed.Round(time.Millisecond), *parallel)
 	}
 }

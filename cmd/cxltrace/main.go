@@ -9,13 +9,19 @@
 //
 //	cxltrace -config Hot-Promote -workload A -out trace.json
 //	cxltrace -config 1:1 -workload B -ops 20000 -metrics metrics.prom
+//
+// -parallel N caps worker parallelism (default GOMAXPROCS); elapsed
+// wall-clock is reported on stderr. Traces are keyed to virtual time, so
+// the same seed produces the same file at any parallelism.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"cxlsim/internal/kvstore"
 	"cxlsim/internal/obs"
@@ -30,7 +36,14 @@ func main() {
 	out := flag.String("out", "trace.json", "trace output path")
 	metrics := flag.String("metrics", "", "also write a Prometheus text snapshot here")
 	limit := flag.Int("limit", 0, "cap recorded trace events (0 = unlimited)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "cap on worker parallelism (sets GOMAXPROCS; 1 = serial)")
 	flag.Parse()
+
+	if *parallel < 1 {
+		fatal(fmt.Errorf("-parallel must be >= 1"))
+	}
+	runtime.GOMAXPROCS(*parallel)
+	start := time.Now()
 
 	mix, err := resolveMix(*wl)
 	if err != nil {
@@ -79,6 +92,8 @@ func main() {
 
 	fmt.Printf("cxltrace: %s/%s seed=%d: %.0f ops/s, p99 %.2f ms, %d B migrated\n",
 		*config, mix.Name, *seed, res.ThroughputOpsPerSec, res.P99Ms(), res.Migrated)
+	fmt.Fprintf(os.Stderr, "cxltrace: experiment in %s (parallel=%d)\n",
+		time.Since(start).Round(time.Millisecond), *parallel)
 	fmt.Printf("cxltrace: wrote %s (%d events", *out, tr.Len())
 	if dropped := tr.Dropped(); dropped > 0 {
 		fmt.Printf(", %d dropped by -limit", dropped)

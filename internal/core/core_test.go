@@ -163,6 +163,31 @@ func TestRunAllDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunAllParallelByteIdentical is the determinism contract of the
+// parallel runner: tables AND CSV from a fully parallel run must match a
+// forced-serial run byte for byte.
+func TestRunAllParallelByteIdentical(t *testing.T) {
+	render := func(parallel int) string {
+		reps, err := RunAll(Options{Quick: true, Parallel: parallel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		for _, r := range reps {
+			r.WriteTable(&sb)
+			if err := r.WriteCSV(&sb); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sb.String()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatal("parallel RunAll output differs from serial run")
+	}
+}
+
 func TestFig3ReportAnchors(t *testing.T) {
 	rep, err := Run("fig3", Options{Quick: true})
 	if err != nil {

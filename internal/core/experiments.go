@@ -10,6 +10,7 @@ import (
 	"cxlsim/internal/llm"
 	"cxlsim/internal/memsim"
 	"cxlsim/internal/mlc"
+	"cxlsim/internal/par"
 	"cxlsim/internal/topology"
 	"cxlsim/internal/vmm"
 	"cxlsim/internal/workload"
@@ -40,6 +41,8 @@ func testbedPaths() (local, remote, cxl, cxlr *memsim.Path) {
 
 // Fig3 regenerates the loaded-latency curve summary of Fig. 3: per path
 // and read:write mix, the idle latency, peak bandwidth, and knee point.
+// The path×mix grid of sweeps runs in parallel; rows assemble serially in
+// grid order, so the table matches a serial run byte for byte.
 func Fig3(opt Options) (*Report, error) {
 	rep := &Report{
 		ID:      "fig3",
@@ -50,17 +53,21 @@ func Fig3(opt Options) (*Report, error) {
 	if opt.Quick {
 		opts.Steps = 12
 	}
+	opts.Parallel = opt.Parallel
 	local, remote, cxl, cxlr := testbedPaths()
-	for _, p := range []*memsim.Path{local, remote, cxl, cxlr} {
-		for _, mix := range memsim.StandardMixes() {
-			c := mlc.LoadedLatency(p, mix, opts)
-			last := c.Points[len(c.Points)-1]
-			rep.AddRow(p.Name, mix.Label(),
-				fmt.Sprintf("%.1f", c.IdleLatency()),
-				fmt.Sprintf("%.1f", c.PeakBandwidth()),
-				fmt.Sprintf("%.0f%%", c.KneeUtilization()*100),
-				fmt.Sprintf("%.0f", last.LatencyNs))
-		}
+	paths := []*memsim.Path{local, remote, cxl, cxlr}
+	mixes := memsim.StandardMixes()
+	curves := make([]mlc.Curve, len(paths)*len(mixes))
+	par.ForEach(len(curves), opt.Parallel, func(i int) {
+		curves[i] = mlc.LoadedLatency(paths[i/len(mixes)], mixes[i%len(mixes)], opts)
+	})
+	for i, c := range curves {
+		last := c.Points[len(c.Points)-1]
+		rep.AddRow(paths[i/len(mixes)].Name, mixes[i%len(mixes)].Label(),
+			fmt.Sprintf("%.1f", c.IdleLatency()),
+			fmt.Sprintf("%.1f", c.PeakBandwidth()),
+			fmt.Sprintf("%.0f%%", c.KneeUtilization()*100),
+			fmt.Sprintf("%.0f", last.LatencyNs))
 	}
 	rep.AddNote("anchors: MMEM 97ns/67GB/s, MMEM-r 130ns, CXL 250.42ns/56.7GB/s@2:1, CXL-r 485ns/20.4GB/s (RSF clamp)")
 	return rep, nil
@@ -78,21 +85,21 @@ func Fig4(opt Options) (*Report, error) {
 	if opt.Quick {
 		opts.Steps = 12
 	}
+	opts.Parallel = opt.Parallel
 	local, remote, cxl, cxlr := testbedPaths()
 	paths := []*memsim.Path{local, remote, cxl, cxlr}
-	for _, mix := range memsim.StandardMixes() {
-		for _, c := range mlc.SweepPaths(paths, mix, opts) {
-			rep.AddRow(mix.Label(), mix.Pattern.String(), c.PathName,
-				fmt.Sprintf("%.1f", c.IdleLatency()),
-				fmt.Sprintf("%.1f", c.PeakBandwidth()))
-		}
-	}
-	// Panels (g,h): random pattern for read-only and write-only.
-	for _, mix := range []memsim.Mix{
+	// Standard mixes for panels (a–f), then the random-pattern panels
+	// (g,h) for read-only and write-only. Per-mix sweep families run in
+	// parallel; rows assemble serially in mix order.
+	mixes := append(memsim.StandardMixes(),
 		memsim.ReadOnly.WithPattern(memsim.Random),
-		memsim.WriteOnly.WithPattern(memsim.Random),
-	} {
-		for _, c := range mlc.SweepPaths(paths, mix, opts) {
+		memsim.WriteOnly.WithPattern(memsim.Random))
+	families := make([][]mlc.Curve, len(mixes))
+	par.ForEach(len(mixes), opt.Parallel, func(i int) {
+		families[i] = mlc.SweepPaths(paths, mixes[i], opts)
+	})
+	for i, mix := range mixes {
+		for _, c := range families[i] {
 			rep.AddRow(mix.Label(), mix.Pattern.String(), c.PathName,
 				fmt.Sprintf("%.1f", c.IdleLatency()),
 				fmt.Sprintf("%.1f", c.PeakBandwidth()))
@@ -119,17 +126,33 @@ func Fig5(opt Options) (*Report, error) {
 		ops = 8_000
 		warmEpochs = 40
 	}
+	// Every (config, mix) cell is an independent deployment on its own
+	// simulated machine; run them all in parallel, index-aligned, then
+	// assemble rows serially so baselines and row order match the serial
+	// loop exactly.
+	configs := kvstore.Table1Configs()
+	results := make([]kvstore.Result, len(configs)*len(mixes))
+	errs := make([]error, len(results))
+	par.ForEach(len(results), opt.Parallel, func(i int) {
+		conf, mix := configs[i/len(mixes)], mixes[i%len(mixes)]
+		d, err := kvstore.Deploy(conf, kvstore.DeployOptions{SimKeys: 1 << 16})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		d.Warm(mix, warmEpochs, 100_000, opt.seed())
+		rc := d.RunConfigFor(mix, opt.seed())
+		rc.Ops = ops
+		results[i] = kvstore.Run(d.Store, d.Alloc, rc)
+	})
 	base := map[string]float64{}
-	for _, conf := range kvstore.Table1Configs() {
-		for _, mix := range mixes {
-			d, err := kvstore.Deploy(conf, kvstore.DeployOptions{SimKeys: 1 << 16})
-			if err != nil {
-				return nil, err
+	for ci, conf := range configs {
+		for mi, mix := range mixes {
+			i := ci*len(mixes) + mi
+			if errs[i] != nil {
+				return nil, errs[i]
 			}
-			d.Warm(mix, warmEpochs, 100_000, opt.seed())
-			rc := d.RunConfigFor(mix, opt.seed())
-			rc.Ops = ops
-			res := kvstore.Run(d.Store, d.Alloc, rc)
+			res := results[i]
 			if conf == kvstore.ConfMMEM {
 				base[mix.Name] = res.ThroughputOpsPerSec
 			}
@@ -161,14 +184,26 @@ func Fig7(opt Options) (*Report, error) {
 	if opt.Quick {
 		queries = queries[:2]
 	}
-	base := map[string]float64{}
-	for _, cfg := range analytics.Fig7Configs() {
+	// Engines are cheap to build and Run is read-only over engine state,
+	// so every (config, query) cell runs in parallel against a shared
+	// per-config engine; rows assemble serially in the original order.
+	cfgs := analytics.Fig7Configs()
+	engines := make([]*analytics.Engine, len(cfgs))
+	for i, cfg := range cfgs {
 		eng, err := analytics.NewEngine(cfg)
 		if err != nil {
 			return nil, err
 		}
-		for _, q := range queries {
-			r := eng.Run(q)
+		engines[i] = eng
+	}
+	results := make([]analytics.QueryResult, len(cfgs)*len(queries))
+	par.ForEach(len(results), opt.Parallel, func(i int) {
+		results[i] = engines[i/len(queries)].Run(queries[i%len(queries)])
+	})
+	base := map[string]float64{}
+	for ci, cfg := range cfgs {
+		for qi, q := range queries {
+			r := results[ci*len(queries)+qi]
 			if cfg.Name == "MMEM" {
 				base[q.Name] = r.ExecTimeNs
 			}
@@ -216,14 +251,24 @@ func Fig8(opt Options) (*Report, error) {
 		res.Config = label
 		return &res, nil
 	}
-	mmem, err := run("MMEM", func(m *topology.Machine) []*topology.Node { return m.DRAMNodes(0) })
+	// The two bindings are independent deployments; run them in parallel.
+	bindings := []struct {
+		label string
+		pick  func(*topology.Machine) []*topology.Node
+	}{
+		{"MMEM", func(m *topology.Machine) []*topology.Node { return m.DRAMNodes(0) }},
+		{"CXL", func(m *topology.Machine) []*topology.Node { return m.CXLNodes() }},
+	}
+	runs := make([]*kvstore.Result, len(bindings))
+	err := par.ForEachErr(len(bindings), opt.Parallel, func(i int) error {
+		r, err := run(bindings[i].label, bindings[i].pick)
+		runs[i] = r
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
-	cxl, err := run("CXL", func(m *topology.Machine) []*topology.Node { return m.CXLNodes() })
-	if err != nil {
-		return nil, err
-	}
+	mmem, cxl := runs[0], runs[1]
 	for _, r := range []*kvstore.Result{mmem, cxl} {
 		rep.AddRow(r.Config,
 			fmt.Sprintf("%.0f", r.ThroughputOpsPerSec/1e3),
@@ -251,7 +296,9 @@ func Fig10(opt Options) (*Report, error) {
 	if opt.Quick {
 		maxBackends = 5
 	}
-	series := c.Fig10a(maxBackends)
+	// The policy × backend-count grid solves in parallel; series points
+	// are index-aligned per policy, so rows emit in sweep order.
+	series := c.Fig10aParallel(maxBackends, opt.Parallel)
 	for _, p := range llm.Fig10Policies() {
 		for _, pt := range series[p.Name] {
 			rep.AddRow("(a) serving rate", pt.Policy,

@@ -12,9 +12,9 @@ package llm
 
 import (
 	"fmt"
-	"sync"
 
 	"cxlsim/internal/memsim"
+	"cxlsim/internal/par"
 	"cxlsim/internal/topology"
 )
 
@@ -73,13 +73,13 @@ func Fig10Policies() []Policy {
 }
 
 // Cluster is the §5.1 serving setup on one SNC domain + one CXL device.
-// Methods are safe for concurrent use (the underlying memsim solvers
-// mutate shared device state, so the cluster serializes them).
+// Methods are safe for concurrent use: the memsim solvers are re-entrant
+// (demand accumulates in solve-local state, never on shared devices), so
+// concurrent ServingRate calls need no serialization.
 type Cluster struct {
 	machine *topology.Machine
 	domain  *memsim.Path
 	cxl     *memsim.Path
-	mu      sync.Mutex
 }
 
 // NewCluster builds the experiment platform (SNC-4 enabled, §5.1).
@@ -125,8 +125,6 @@ func (c *Cluster) ServingRate(p Policy, backends int) ServingPoint {
 	if backends < 1 {
 		panic(fmt.Sprintf("llm: invalid backend count %d", backends))
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	pl := c.placement(p)
 	demand := float64(backends*BackendThreads) * threadGBps
 	if cap := float64(backends) * backendCapGBps; demand > cap {
@@ -155,14 +153,26 @@ func (c *Cluster) ServingRate(p Policy, backends int) ServingPoint {
 	}
 }
 
-// Fig10a sweeps backend counts for every policy.
+// Fig10a sweeps backend counts for every policy with GOMAXPROCS workers.
 func (c *Cluster) Fig10a(maxBackends int) map[string][]ServingPoint {
-	out := map[string][]ServingPoint{}
-	for _, p := range Fig10Policies() {
-		for n := 1; n <= maxBackends; n++ {
-			out[p.Name] = append(out[p.Name], c.ServingRate(p, n))
-		}
+	return c.Fig10aParallel(maxBackends, 0)
+}
+
+// Fig10aParallel is Fig10a with an explicit worker cap (0 = GOMAXPROCS,
+// 1 = serial). Every (policy, backend-count) cell is an independent
+// solve; cells land index-aligned in each policy's series, so the sweep
+// is identical at any parallelism.
+func (c *Cluster) Fig10aParallel(maxBackends, workers int) map[string][]ServingPoint {
+	policies := Fig10Policies()
+	out := make(map[string][]ServingPoint, len(policies))
+	for _, p := range policies {
+		out[p.Name] = make([]ServingPoint, maxBackends)
 	}
+	par.ForEach(len(policies)*maxBackends, workers, func(i int) {
+		p := policies[i/maxBackends]
+		n := i%maxBackends + 1
+		out[p.Name][n-1] = c.ServingRate(p, n)
+	})
 	return out
 }
 
@@ -173,8 +183,6 @@ func (c *Cluster) BackendBandwidth(threads int) float64 {
 	if threads < 1 {
 		panic("llm: invalid thread count")
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	demand := float64(threads) * threadGBps
 	if demand > backendCapGBps {
 		demand = backendCapGBps

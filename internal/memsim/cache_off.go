@@ -1,0 +1,26 @@
+//go:build nosolvecache
+
+package memsim
+
+// Built with -tags nosolvecache: solve memoization is compiled out. Every
+// SolveClosed call runs the full fixed point, which is what A/B
+// validation runs compare against the cached build (results must be
+// bit-identical).
+
+// SolveCacheEnabled reports whether solve memoization was compiled in.
+func SolveCacheEnabled() bool { return false }
+
+// SolveCacheStats reports zeros: the cache is compiled out.
+func SolveCacheStats() (hits, misses uint64, entries int) { return 0, 0, 0 }
+
+// ResetSolveCache is a no-op: the cache is compiled out.
+func ResetSolveCache() {}
+
+// solveKey carries nothing in the uncached build.
+type solveKey struct{}
+
+func solveCacheKeyClosed([]ClosedFlow) solveKey { return solveKey{} }
+
+func solveCacheGet(solveKey) ([]FlowResult, Utilization, bool) { return nil, nil, false }
+
+func solveCachePut(solveKey, []FlowResult, Utilization) {}

@@ -44,8 +44,6 @@ type Resource struct {
 	// fraction per unit of excess offered/peak. Zero means bandwidth
 	// holds at peak under overload.
 	OverloadRecession float64
-
-	demand float64 // accumulated offered load (GB/s) for the current solve
 }
 
 // validate panics on nonsensical configuration.
@@ -70,22 +68,14 @@ func (r *Resource) idle(m Mix) float64 {
 	return l
 }
 
-// utilization converts the accumulated demand into a capacity fraction.
-// Demand from flows with different mixes was normalized at accumulation
-// time, so this is just demand/1.0-normalized... kept simple: demand is
-// stored as capacity-fraction already (see addDemand).
-func (r *Resource) utilization() float64 { return r.demand }
-
-// addDemand registers offered bandwidth bw (GB/s) of mix m against this
-// resource, stored as a fraction of the mix-specific peak so that flows
-// with different mixes compose.
-func (r *Resource) addDemand(bw float64, m Mix) {
-	p := r.Peak.At(m.ReadFrac)
-	r.demand += bw / p
+// demandFraction converts offered bandwidth bw (GB/s) of mix m into a
+// fraction of this resource's mix-specific peak, so that flows with
+// different mixes compose when the solver sums their demands. The sum is
+// accumulated in solve-local state (see solveOpen), never on the
+// resource itself, which keeps Resource immutable during solves.
+func (r *Resource) demandFraction(bw float64, m Mix) float64 {
+	return bw / r.Peak.At(m.ReadFrac)
 }
-
-// resetDemand clears accumulated demand between solver iterations.
-func (r *Resource) resetDemand() { r.demand = 0 }
 
 // latencyAt returns this stage's per-access latency (ns) for mix m at
 // utilization u (a capacity fraction; may exceed 1 under overload).
@@ -126,6 +116,10 @@ func (r *Resource) latencyAt(u float64, m Mix) float64 {
 // scales by bwFactor (0,1] and idle latencies by latFactor (≥1) — e.g. a
 // PCIe link retraining to fewer lanes, a thermally throttled expander, or
 // a misbehaving DIMM behind the controller. Applied cumulatively.
+//
+// Degrade is a configuration-time mutation: solvers never modify
+// resources, but they do read these fields, so do not Degrade a resource
+// concurrently with solves over paths that include it.
 func (r *Resource) Degrade(bwFactor, latFactor float64) {
 	if bwFactor <= 0 || bwFactor > 1 || latFactor < 1 {
 		panic(fmt.Sprintf("memsim: invalid degradation bw=%v lat=%v", bwFactor, latFactor))

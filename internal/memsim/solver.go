@@ -1,10 +1,16 @@
 package memsim
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
-// Solvers mutate shared Resource demand accumulators and are therefore
-// NOT safe for concurrent use over the same resources; callers that
-// serve multiple goroutines (e.g. llm.Cluster) must serialize.
+// Both solvers are pure functions of their flow sets: demand accumulation
+// happens in solve-local state, never on the shared *Resource values, so
+// SolveOpen and SolveClosed are safe for concurrent callers — including
+// concurrent solves over the same paths and resources. The only remaining
+// mutation points are configuration-time operations (Resource.Degrade),
+// which must not overlap with active solves.
 
 // overloadLatencyFactor stretches path latency when offered load exceeds
 // capacity (MLC keeps injecting; queues stay pinned full).
@@ -61,54 +67,128 @@ type Utilization map[*Resource]float64
 // pass kind ("open" or "closed"), the flow count, and the final
 // utilization snapshot. The obs package installs the standard
 // implementation (counter + gauge families); see obs.InstrumentMemsim.
+// Observers must be safe for concurrent invocation: parallel solvers
+// call them from multiple goroutines.
 type SolveObserver func(kind string, flows int, util Utilization)
 
 // solveObserver is process-global because the solvers are package-level
-// functions. It must be installed before solving begins (commands do it
-// at startup); swapping it concurrently with active solves is a race.
-var solveObserver SolveObserver
+// functions. It is an atomic pointer so it can be installed, swapped, or
+// removed at any time — including while solves are in flight on other
+// goroutines — without a data race.
+var solveObserver atomic.Pointer[SolveObserver]
 
 // SetSolveObserver installs (or, with nil, removes) the solve observer.
-func SetSolveObserver(o SolveObserver) { solveObserver = o }
+// Safe to call concurrently with active solves.
+func SetSolveObserver(o SolveObserver) {
+	if o == nil {
+		solveObserver.Store(nil)
+		return
+	}
+	solveObserver.Store(&o)
+}
 
 func observeSolve(kind string, flows int, util Utilization) {
-	if solveObserver != nil {
-		solveObserver(kind, flows, util)
+	if p := solveObserver.Load(); p != nil {
+		(*p)(kind, flows, util)
 	}
 }
 
+// solveState is the per-solve scratch that used to live on *Resource: the
+// resources touched by the flow set in first-encountered order, and their
+// accumulated demand (as capacity fractions). Keeping it solve-local is
+// what makes the solvers re-entrant.
+type solveState struct {
+	resources []*Resource
+	demand    []float64
+}
+
+// indexOf locates r in the touched-resource list by linear scan: flow
+// sets touch a handful of resources (a path is 1–3 stages), so a scan
+// beats a map both in lookup cost and in per-solve allocation.
+func (st *solveState) indexOf(r *Resource) int {
+	for i, have := range st.resources {
+		if have == r {
+			return i
+		}
+	}
+	return -1
+}
+
+func newSolveState(flows []OpenFlow) *solveState {
+	st := &solveState{}
+	for _, f := range flows {
+		for _, wp := range f.Placement {
+			for _, r := range wp.Path.Resources {
+				if st.indexOf(r) < 0 {
+					st.resources = append(st.resources, r)
+				}
+			}
+		}
+	}
+	st.demand = make([]float64, len(st.resources))
+	return st
+}
+
+func (st *solveState) reset() {
+	for i := range st.demand {
+		st.demand[i] = 0
+	}
+}
+
+// accumulate registers the flow set's offered load against each touched
+// resource.
+func (st *solveState) accumulate(flows []OpenFlow) {
+	for _, f := range flows {
+		for _, wp := range f.Placement.normalized() {
+			for _, r := range wp.Path.Resources {
+				st.demand[st.indexOf(r)] += r.demandFraction(f.Offered*wp.Weight, f.Mix)
+			}
+		}
+	}
+}
+
+// utilization snapshots accumulated demand as the exported map form.
+func (st *solveState) utilization() Utilization {
+	util := make(Utilization, len(st.resources))
+	for i, r := range st.resources {
+		util[r] = st.demand[i]
+	}
+	return util
+}
+
 // SolveOpen resolves a set of offered-load flows sharing resources.
-// Returned results are index-aligned with flows.
+// Returned results are index-aligned with flows. Safe for concurrent use.
+//
+// Open solves are deliberately not memoized: a single pass is cheaper
+// than encoding a cache key, and the sweeps that drive SolveOpen rarely
+// repeat an offered load anyway. SolveClosed — hundreds of open passes
+// per call — is where the cache earns its keep.
 func SolveOpen(flows []OpenFlow) ([]FlowResult, Utilization) {
 	results, util := solveOpen(flows)
 	observeSolve("open", len(flows), util)
 	return results, util
 }
 
-// solveOpen is SolveOpen without the observer callback; SolveClosed's
-// inner fixed-point iterations use it so a closed solve reports as one
-// observation, not hundreds.
+// solveOpen is SolveOpen without the observer callback or cache;
+// SolveClosed's inner fixed-point iterations use solveOpenInto so a
+// closed solve reports as one observation, not hundreds.
 func solveOpen(flows []OpenFlow) ([]FlowResult, Utilization) {
-	resources := collectOpen(flows)
-	for _, r := range resources {
-		r.resetDemand()
-	}
-	for _, f := range flows {
-		for _, wp := range f.Placement.normalized() {
-			for _, r := range wp.Path.Resources {
-				r.addDemand(f.Offered*wp.Weight, f.Mix)
-			}
-		}
-	}
-	util := make(Utilization, len(resources))
-	for _, r := range resources {
-		util[r] = r.utilization()
-	}
+	st := newSolveState(flows)
 	results := make([]FlowResult, len(flows))
+	util := solveOpenInto(st, flows, results)
+	return results, util
+}
+
+// solveOpenInto runs one open-solve pass reusing the given state and
+// results slice (both sized for flows).
+func solveOpenInto(st *solveState, flows []OpenFlow, results []FlowResult) Utilization {
+	st.reset()
+	st.accumulate(flows)
+	util := st.utilization()
 	for i, f := range flows {
 		results[i] = evalFlow(f.Placement, f.Mix, f.Offered, util)
 	}
-	return results, util
+	return util
 }
 
 // evalFlow computes achieved bandwidth and placement-weighted latency for
@@ -140,8 +220,21 @@ func evalFlow(pl Placement, m Mix, offered float64, util Utilization) FlowResult
 
 // SolveClosed finds the throughput/latency fixed point for closed-loop
 // flows sharing resources. Damped iteration; converges for every
-// configuration the experiments use (guarded by iteration cap).
+// configuration the experiments use (guarded by iteration cap). Safe for
+// concurrent use.
 func SolveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
+	key := solveCacheKeyClosed(flows)
+	if results, util, ok := solveCacheGet(key); ok {
+		observeSolve("closed", len(flows), util)
+		return results, util
+	}
+	results, util := solveClosed(flows)
+	solveCachePut(key, results, util)
+	observeSolve("closed", len(flows), util)
+	return results, util
+}
+
+func solveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
 	n := len(flows)
 	lat := make([]float64, n)
 	for i, f := range flows {
@@ -151,7 +244,11 @@ func SolveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
 		}
 	}
 	open := make([]OpenFlow, n)
-	var results []FlowResult
+	for i, f := range flows {
+		open[i] = OpenFlow{Placement: f.Placement, Mix: f.Mix}
+	}
+	st := newSolveState(open)
+	results := make([]FlowResult, n)
 	var util Utilization
 	const (
 		iters = 500
@@ -173,9 +270,9 @@ func SolveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
 			if demand <= 0 {
 				demand = float64(f.Threads) * f.MLP * f.AccessBytes / lat[i]
 			}
-			open[i] = OpenFlow{Placement: f.Placement, Mix: f.Mix, Offered: demand}
+			open[i].Offered = demand
 		}
-		results, util = solveOpen(open)
+		util = solveOpenInto(st, open, results)
 		maxRel := 0.0
 		for i, f := range flows {
 			newLat := results[i].Latency + f.ThinkNs
@@ -201,29 +298,12 @@ func SolveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
 		if demand <= 0 {
 			demand = float64(f.Threads) * f.MLP * f.AccessBytes / lat[i]
 		}
-		open[i] = OpenFlow{Placement: f.Placement, Mix: f.Mix, Offered: demand}
+		open[i].Offered = demand
 	}
-	results, util = solveOpen(open)
-	observeSolve("closed", len(flows), util)
+	util = solveOpenInto(st, open, results)
 	// At the fixed point a closed flow's achieved bandwidth equals its
 	// offered load (injection self-limits through latency), and
 	// results[i].Latency is the memory-only loaded latency; callers add
 	// their own ThinkNs when computing op costs.
 	return results, util
-}
-
-func collectOpen(flows []OpenFlow) []*Resource {
-	seen := map[*Resource]bool{}
-	var out []*Resource
-	for _, f := range flows {
-		for _, wp := range f.Placement {
-			for _, r := range wp.Path.Resources {
-				if !seen[r] {
-					seen[r] = true
-					out = append(out, r)
-				}
-			}
-		}
-	}
-	return out
 }

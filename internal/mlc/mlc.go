@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"cxlsim/internal/memsim"
+	"cxlsim/internal/par"
 )
 
 // Options configures a sweep.
@@ -27,6 +28,11 @@ type Options struct {
 	// Overdrive is the multiple of path peak bandwidth offered at the
 	// last sweep step (>1 exercises the saturated/receding regime).
 	Overdrive float64
+	// Parallel caps the worker goroutines solving sweep points (each
+	// point is an independent open solve). 0 means GOMAXPROCS; 1 forces
+	// serial. Results are index-aligned, so curves are identical at any
+	// parallelism.
+	Parallel int
 }
 
 // DefaultOptions mirrors the paper's MLC configuration.
@@ -101,41 +107,46 @@ func (c Curve) KneeUtilization() float64 {
 	return 1
 }
 
-// LoadedLatency sweeps one path with one mix.
+// LoadedLatency sweeps one path with one mix. Sweep points are
+// independent open solves, resolved in parallel (opts.Parallel workers)
+// with results index-aligned to the injection schedule, so the curve is
+// identical at any parallelism.
 func LoadedLatency(path *memsim.Path, mix memsim.Mix, opts Options) Curve {
 	opts.fill()
 	peak := path.PeakBandwidth(mix)
-	curve := Curve{PathName: path.Name, Mix: mix}
+	curve := Curve{PathName: path.Name, Mix: mix, Points: make([]Point, opts.Steps)}
 	pl := memsim.SinglePath(path)
-	for i := 0; i < opts.Steps; i++ {
+	par.ForEach(opts.Steps, opts.Parallel, func(i int) {
 		frac := 0.02 + (opts.Overdrive-0.02)*float64(i)/float64(opts.Steps-1)
 		offered := frac * peak
 		res, _ := memsim.SolveOpen([]memsim.OpenFlow{{Placement: pl, Mix: mix, Offered: offered}})
-		curve.Points = append(curve.Points, Point{
+		curve.Points[i] = Point{
 			OfferedGBps:  offered,
 			AchievedGBps: res[0].Achieved,
 			LatencyNs:    res[0].Latency,
-		})
-	}
+		}
+	})
 	return curve
 }
 
 // SweepMixes produces the per-mix curve family for one path — one panel
-// of Fig. 3.
+// of Fig. 3. Curves are swept concurrently (on top of each curve's own
+// per-point parallelism) and returned in mix order.
 func SweepMixes(path *memsim.Path, mixes []memsim.Mix, opts Options) []Curve {
-	out := make([]Curve, 0, len(mixes))
-	for _, m := range mixes {
-		out = append(out, LoadedLatency(path, m, opts))
-	}
+	out := make([]Curve, len(mixes))
+	par.ForEach(len(mixes), opts.Parallel, func(i int) {
+		out[i] = LoadedLatency(path, mixes[i], opts)
+	})
 	return out
 }
 
 // SweepPaths produces the per-path curve family for one mix — one panel
-// of Fig. 4 (a–f), comparing distances at a fixed mix.
+// of Fig. 4 (a–f), comparing distances at a fixed mix. Curves are swept
+// concurrently and returned in path order.
 func SweepPaths(paths []*memsim.Path, mix memsim.Mix, opts Options) []Curve {
-	out := make([]Curve, 0, len(paths))
-	for _, p := range paths {
-		out = append(out, LoadedLatency(p, mix, opts))
-	}
+	out := make([]Curve, len(paths))
+	par.ForEach(len(paths), opts.Parallel, func(i int) {
+		out[i] = LoadedLatency(paths[i], mix, opts)
+	})
 	return out
 }

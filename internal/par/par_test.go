@@ -1,0 +1,64 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		const n = 100
+		seen := make([]atomic.Int32, n)
+		ForEach(n, workers, func(i int) { seen[i].Add(1) })
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	ForEach(0, 8, func(int) { t.Fatal("fn called for n=0") })
+}
+
+func TestForEachErrLowestIndexWins(t *testing.T) {
+	errA := errors.New("a")
+	for _, workers := range []int{1, 8} {
+		err := ForEachErr(10, workers, func(i int) error {
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return fmt.Errorf("b")
+			}
+			return nil
+		})
+		if !errors.Is(err, errA) {
+			t.Fatalf("workers=%d: err = %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestForEachErrNil(t *testing.T) {
+	if err := ForEachErr(5, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(1) != 1 {
+		t.Fatal("Workers(1) != 1")
+	}
+	if Workers(7) != 7 {
+		t.Fatal("Workers(7) != 7")
+	}
+	if Workers(0) < 1 {
+		t.Fatal("Workers(0) must default to at least 1")
+	}
+	if Workers(-3) < 1 {
+		t.Fatal("Workers(-3) must clamp to at least 1")
+	}
+}

@@ -54,6 +54,7 @@ type Zipfian struct {
 	zetan       float64
 	zeta2theta  float64
 	eta         float64
+	halfTheta   float64 // math.Pow(0.5, theta), hoisted out of Next's hot path
 	countForZ   uint64 // n for which zetan was computed
 	rng         *rand.Rand
 	allowExtend bool
@@ -81,6 +82,7 @@ func NewZipfianTheta(n uint64, theta float64, seed int64) *Zipfian {
 	}
 	z.zeta2theta = zetaStatic(2, theta)
 	z.alpha = 1 / (1 - theta)
+	z.halfTheta = math.Pow(0.5, theta)
 	z.zetan = zetaStatic(n, theta)
 	z.countForZ = n
 	z.eta = z.etaVal()
@@ -109,7 +111,7 @@ func (z *Zipfian) Next() uint64 {
 	if uz < 1 {
 		return 0
 	}
-	if uz < 1+math.Pow(0.5, z.theta) {
+	if uz < 1+z.halfTheta {
 		return 1
 	}
 	return uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
