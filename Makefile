@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all build vet test race check bench bench-build
+.PHONY: all build vet test race check bench bench-build bench-compare bench-baseline bench-compare-smoke
 
 all: build
 
@@ -19,10 +19,11 @@ race:
 	$(GO) test -race ./...
 
 # check is the gate: vet, build, the full test suite under the race
-# detector, and a build-only smoke of the benchmarks (compiles every
+# detector, a build-only smoke of the benchmarks (compiles every
 # benchmark without running it, so bit-rot in bench code fails the gate
-# cheaply).
-check: vet build race bench-build
+# cheaply), and a smoke of the bench-compare tooling (parses the
+# committed baseline without running any benchmark).
+check: vet build race bench-build bench-compare-smoke
 
 # bench records a benchstat-comparable baseline: 5 repetitions of every
 # benchmark with allocation stats, captured to BENCH_<date>.json. Compare
@@ -34,3 +35,24 @@ bench:
 # benchmarks (-run with a pattern that matches nothing).
 bench-build:
 	$(GO) test -run=NoSuchTest -bench=NoSuchBench ./... > /dev/null
+
+# The gate benchmarks: the paper-figure end-to-end runs whose hot loops
+# this repo optimizes. Kept narrow so bench-compare stays a few minutes.
+GATE_BENCH := BenchmarkFig8CXLOnlyKeyDB|BenchmarkFig10LLMInference
+
+# bench-compare reruns the gate benchmarks (count=5, median) and fails
+# when any regresses ns/op more than 10% against the committed baseline.
+bench-compare:
+	$(GO) test -run=NoSuchTest -bench='$(GATE_BENCH)' -benchmem -count=5 . > /tmp/bench-compare.txt
+	$(GO) run ./cmd/benchdiff -threshold 10 bench/BASELINE.txt /tmp/bench-compare.txt
+
+# bench-baseline refreshes the committed baseline after an intentional
+# performance change (commit the result).
+bench-baseline:
+	$(GO) test -run=NoSuchTest -bench='$(GATE_BENCH)' -benchmem -count=5 . > bench/BASELINE.txt
+
+# bench-compare-smoke exercises the comparison tool against the
+# committed baseline without running any benchmark: it proves the
+# baseline still parses and the tool builds, cheap enough for `check`.
+bench-compare-smoke:
+	$(GO) run ./cmd/benchdiff bench/BASELINE.txt bench/BASELINE.txt > /dev/null

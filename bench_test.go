@@ -1,9 +1,10 @@
 // Package cxlsim's root benchmark harness regenerates every table and
 // figure in the paper's evaluation. Each benchmark prints the rows the
-// paper reports (run with -v via `go test -bench=. -benchmem`); the
-// wall-clock numbers testing.B reports measure the simulator, while the
-// printed tables carry the reproduced results. EXPERIMENTS.md records
-// paper-vs-measured for each.
+// paper reports under -v (`go test -v -bench=. -benchmem`); without -v
+// the output is pure benchmark result lines, parseable by benchstat and
+// cmd/benchdiff. The wall-clock numbers testing.B reports measure the
+// simulator, while the printed tables carry the reproduced results.
+// EXPERIMENTS.md records paper-vs-measured for each.
 package cxlsim_test
 
 import (
@@ -19,8 +20,10 @@ import (
 	"cxlsim/internal/workload"
 )
 
-// report runs a core experiment once per benchmark (printing the table on
-// the first iteration only).
+// report runs a core experiment once per benchmark (printing the table
+// on the first iteration, under -v only — table output mid-benchmark
+// splits the testing framework's result lines, which breaks
+// benchstat/benchdiff parsing).
 func report(b *testing.B, id string, opt core.Options) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
@@ -28,7 +31,7 @@ func report(b *testing.B, id string, opt core.Options) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if i == 0 {
+		if i == 0 && testing.Verbose() {
 			rep.WriteTable(os.Stdout)
 		}
 	}
@@ -60,7 +63,7 @@ func BenchmarkFig5KeyDBYCSB(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if i == 0 {
+		if i == 0 && testing.Verbose() {
 			rep.WriteTable(os.Stdout)
 		}
 	}
@@ -74,7 +77,7 @@ func BenchmarkFig7SparkTPCH(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if i == 0 {
+		if i == 0 && testing.Verbose() {
 			rep.WriteTable(os.Stdout)
 		}
 	}
@@ -88,7 +91,7 @@ func BenchmarkFig8CXLOnlyKeyDB(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if i == 0 {
+		if i == 0 && testing.Verbose() {
 			rep.WriteTable(os.Stdout)
 		}
 	}

@@ -1,0 +1,68 @@
+// Command benchdiff compares two `go test -bench` output files and
+// fails when any benchmark's time regresses beyond a threshold. It is a
+// dependency-free stand-in for benchstat, sized for the CI gate:
+//
+//	go test -bench=. -benchmem -count=5 . > new.txt
+//	benchdiff -threshold 10 bench/BASELINE.txt new.txt
+//
+// Benchmarks are matched by name (the -GOMAXPROCS suffix is stripped);
+// repeated counts collapse to the median, which is robust to the warmup
+// noise a count=1 run shows. Exit status 1 means at least one benchmark
+// in both files regressed ns/op by more than -threshold percent;
+// benchmarks present in only one file are reported but do not fail the
+// comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 10, "max allowed ns/op regression, percent")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-threshold PCT] old.txt new.txt\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := parseFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := parseFile(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	if len(old) == 0 {
+		fatal(fmt.Errorf("no benchmark results in %s", flag.Arg(0)))
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark results in %s", flag.Arg(1)))
+	}
+
+	report, failed := diff(old, cur, *threshold)
+	fmt.Print(report)
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%%\n", *threshold)
+		os.Exit(1)
+	}
+}
+
+func parseFile(path string) (map[string]*series, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchdiff: %w", err)
+	}
+	return parse(string(data)), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(2)
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// series holds every repetition of one benchmark, in file order.
+type series struct {
+	nsPerOp  []float64
+	allocs   []float64
+	hasAlloc bool
+}
+
+// medianNs reports the median ns/op across repetitions.
+func (s *series) medianNs() float64 { return median(s.nsPerOp) }
+
+// medianAllocs reports the median allocs/op, or -1 when -benchmem was off.
+func (s *series) medianAllocs() float64 {
+	if !s.hasAlloc {
+		return -1
+	}
+	return median(s.allocs)
+}
+
+func median(xs []float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+// parse extracts benchmark result lines from `go test -bench` output.
+// A result line looks like
+//
+//	BenchmarkFig8CXLOnlyKeyDB-8   38   30941960 ns/op   16922620 B/op   45525 allocs/op
+//
+// The -N GOMAXPROCS suffix is stripped so baselines transfer across
+// machines with different core counts.
+func parse(out string) map[string]*series {
+	results := map[string]*series{}
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		var ns float64
+		var allocs float64
+		hasNs, hasAlloc := false, false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				ns, hasNs = v, true
+			case "allocs/op":
+				allocs, hasAlloc = v, true
+			}
+		}
+		if !hasNs {
+			continue
+		}
+		s := results[name]
+		if s == nil {
+			s = &series{}
+			results[name] = s
+		}
+		s.nsPerOp = append(s.nsPerOp, ns)
+		if hasAlloc {
+			s.allocs = append(s.allocs, allocs)
+			s.hasAlloc = true
+		}
+	}
+	return results
+}
+
+// diff renders an old-vs-new comparison table and reports whether any
+// benchmark present in both files regressed ns/op beyond threshold
+// percent.
+func diff(old, cur map[string]*series, threshold float64) (string, bool) {
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	for name := range cur {
+		if _, ok := old[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-34s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	failed := false
+	for _, name := range names {
+		o, n := old[name], cur[name]
+		switch {
+		case o == nil:
+			fmt.Fprintf(&b, "%-34s %14s %14.0f %8s\n", name, "-", n.medianNs(), "new")
+		case n == nil:
+			fmt.Fprintf(&b, "%-34s %14.0f %14s %8s\n", name, o.medianNs(), "-", "gone")
+		default:
+			delta := (n.medianNs() - o.medianNs()) / o.medianNs() * 100
+			mark := ""
+			if delta > threshold {
+				mark = "  FAIL"
+				failed = true
+			}
+			fmt.Fprintf(&b, "%-34s %14.0f %14.0f %+7.1f%%%s\n",
+				name, o.medianNs(), n.medianNs(), delta, mark)
+			if oa, na := o.medianAllocs(), n.medianAllocs(); oa >= 0 && na >= 0 && oa != na {
+				ad := 0.0
+				if oa > 0 {
+					ad = (na - oa) / oa * 100
+				}
+				fmt.Fprintf(&b, "%-34s %14.0f %14.0f %+7.1f%%  (allocs/op)\n", "", oa, na, ad)
+			}
+		}
+	}
+	return b.String(), failed
+}

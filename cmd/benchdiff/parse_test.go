@@ -1,0 +1,88 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOut = `goos: linux
+goarch: amd64
+pkg: cxlsim
+BenchmarkFig8CXLOnlyKeyDB-8   	      38	  31000000 ns/op	16922620 B/op	   45525 allocs/op
+BenchmarkFig8CXLOnlyKeyDB-8   	      40	  30000000 ns/op	16922600 B/op	   45520 allocs/op
+BenchmarkFig8CXLOnlyKeyDB-8   	      39	  32000000 ns/op	16922610 B/op	   45522 allocs/op
+BenchmarkFig10LLMInference-8  	   17000	     69000 ns/op	   28050 B/op	     664 allocs/op
+PASS
+ok  	cxlsim	10.5s
+`
+
+func TestParse(t *testing.T) {
+	got := parse(sampleOut)
+	fig8 := got["BenchmarkFig8CXLOnlyKeyDB"]
+	if fig8 == nil {
+		t.Fatal("Fig8 benchmark not parsed (GOMAXPROCS suffix not stripped?)")
+	}
+	if len(fig8.nsPerOp) != 3 {
+		t.Fatalf("Fig8 repetitions = %d, want 3", len(fig8.nsPerOp))
+	}
+	if m := fig8.medianNs(); m != 31000000 {
+		t.Fatalf("Fig8 median ns/op = %g, want 31000000", m)
+	}
+	if m := fig8.medianAllocs(); m != 45522 {
+		t.Fatalf("Fig8 median allocs/op = %g, want 45522", m)
+	}
+	if got["BenchmarkFig10LLMInference"] == nil {
+		t.Fatal("Fig10 benchmark not parsed")
+	}
+}
+
+func TestParseSkipsNonResultLines(t *testing.T) {
+	got := parse("PASS\nok  cxlsim 1.2s\n--- BENCH: weird\nBenchmarkNoFields\n")
+	if len(got) != 0 {
+		t.Fatalf("parsed %d results from non-result lines", len(got))
+	}
+}
+
+func TestMedianEvenCount(t *testing.T) {
+	if m := median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("median = %g, want 2.5", m)
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	old := parse("BenchmarkA-8 10 100 ns/op\nBenchmarkB-8 10 100 ns/op\n")
+	cur := parse("BenchmarkA-8 10 105 ns/op\nBenchmarkB-8 10 120 ns/op\n")
+	report, failed := diff(old, cur, 10)
+	if !failed {
+		t.Fatal("20% regression not flagged at threshold 10%")
+	}
+	if !strings.Contains(report, "FAIL") {
+		t.Fatalf("report missing FAIL marker:\n%s", report)
+	}
+	// A within threshold: must not be the FAIL line.
+	for _, line := range strings.Split(report, "\n") {
+		if strings.Contains(line, "BenchmarkA") && strings.Contains(line, "FAIL") {
+			t.Fatalf("5%% change flagged as regression:\n%s", report)
+		}
+	}
+}
+
+func TestDiffSelfIsClean(t *testing.T) {
+	base := parse(sampleOut)
+	_, failed := diff(base, base, 10)
+	if failed {
+		t.Fatal("comparing a file to itself reported a regression")
+	}
+}
+
+func TestDiffHandlesDisjointSets(t *testing.T) {
+	old := parse("BenchmarkGone-8 10 100 ns/op\n")
+	cur := parse("BenchmarkNew-8 10 100 ns/op\n")
+	report, failed := diff(old, cur, 10)
+	if failed {
+		t.Fatal("disjoint benchmark sets must not fail the comparison")
+	}
+	if !strings.Contains(report, "gone") || !strings.Contains(report, "new") {
+		t.Fatalf("report missing gone/new markers:\n%s", report)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"cxlsim/internal/core"
+	"cxlsim/internal/prof"
 )
 
 func main() {
@@ -30,6 +31,8 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	format := flag.String("format", "table", "output format: table or csv")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per experiment fan-out (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cxlbench [-quick] [-seed N] [-parallel N] all | <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(core.Experiments(), " "))
@@ -51,6 +54,13 @@ func main() {
 		os.Exit(2)
 	}
 	opt := core.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	ids := args
 	if len(args) == 1 && args[0] == "all" {

@@ -9,6 +9,12 @@
 //	curl localhost:8080/metrics        # Prometheus text exposition
 //	curl localhost:8080/metrics.json   # legacy JSON metrics
 //	curl localhost:8080/trace.json     # Chrome trace-event JSON (Perfetto)
+//	go tool pprof localhost:8080/debug/pprof/profile   # live CPU profile
+//	go tool pprof localhost:8080/debug/pprof/heap      # live heap profile
+//
+// The debug mux (net/http/pprof under /debug/pprof/, expvar under
+// /debug/vars) is registered by obs.RegisterDebug; one-shot commands
+// (cxlbench, cxltrace) take -cpuprofile/-memprofile flags instead.
 package main
 
 import (

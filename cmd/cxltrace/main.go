@@ -25,6 +25,7 @@ import (
 
 	"cxlsim/internal/kvstore"
 	"cxlsim/internal/obs"
+	"cxlsim/internal/prof"
 	"cxlsim/internal/workload"
 )
 
@@ -37,12 +38,19 @@ func main() {
 	metrics := flag.String("metrics", "", "also write a Prometheus text snapshot here")
 	limit := flag.Int("limit", 0, "cap recorded trace events (0 = unlimited)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "cap on worker parallelism (sets GOMAXPROCS; 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *parallel < 1 {
 		fatal(fmt.Errorf("-parallel must be >= 1"))
 	}
 	runtime.GOMAXPROCS(*parallel)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 	start := time.Now()
 
 	mix, err := resolveMix(*wl)

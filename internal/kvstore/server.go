@@ -141,57 +141,22 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 		daemon = obs.InstrumentDaemon(daemon, rc.Metrics, rc.Tracer)
 	}
 
-	type pending struct {
-		op    workload.Op
-		issue sim.Time
+	rl := &runLoop{
+		eng:      eng,
+		store:    store,
+		rc:       &rc,
+		gen:      gen,
+		res:      &res,
+		latH:     latH,
+		readH:    readH,
+		opsC:     opsC,
+		free:     rc.ServerThreads,
+		totalOps: rc.Ops + rc.WarmupOps,
+		inflight: make([]pendingOp, rc.ServerThreads),
+		slots:    make([]uint64, rc.ServerThreads),
 	}
-	var queue []pending
-	free := rc.ServerThreads
-	totalOps := rc.Ops + rc.WarmupOps
-	completed := 0
-	var measureStart sim.Time
-	var measuredOps int
-
-	var dispatch func(now sim.Time)
-	complete := func(p pending, now sim.Time) {
-		free++
-		completed++
-		if completed == rc.WarmupOps {
-			measureStart = now
-		}
-		if opsC != nil {
-			opsC.With(p.op.Kind.String()).Inc()
-		}
-		if completed > rc.WarmupOps {
-			measuredOps++
-			l := float64(now-p.issue) + rc.NetworkRTTNs
-			if latH != nil {
-				latH.Observe(l)
-			} else {
-				res.Latency.Add(l)
-			}
-			if p.op.Kind == workload.OpRead {
-				if readH != nil {
-					readH.Observe(l)
-				} else {
-					res.ReadLatency.Add(l)
-				}
-			}
-			rc.Tracer.Span("kvstore", p.op.Kind.String(), p.issue, now, nil)
-		}
-		if completed+len(queue)+(rc.ServerThreads-free) < totalOps {
-			queue = append(queue, pending{op: gen.Next(), issue: now})
-		}
-		dispatch(now)
-	}
-	dispatch = func(now sim.Time) {
-		for free > 0 && len(queue) > 0 {
-			p := queue[0]
-			queue = queue[1:]
-			free--
-			svc := store.ServiceTime(p.op, now)
-			eng.At(now+sim.Time(svc), func(t sim.Time) { complete(p, t) })
-		}
+	for i := range rl.slots {
+		rl.slots[i] = uint64(i)
 	}
 
 	// Epoch ticker: resolve memory contention, run the tiering daemon,
@@ -211,20 +176,107 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 	})
 
 	for i := 0; i < rc.ClientThreads; i++ {
-		queue = append(queue, pending{op: gen.Next(), issue: 0})
+		rl.queue = append(rl.queue, pendingOp{op: gen.Next(), issue: 0})
 	}
-	dispatch(0)
-	for completed < totalOps && eng.Step() {
+	rl.dispatch(0)
+	for rl.completed < rl.totalOps && eng.Step() {
 	}
 	ticker.Stop()
 	end := eng.Now()
 
-	elapsed := float64(end - measureStart)
-	if elapsed > 0 && measuredOps > 0 {
-		res.ThroughputOpsPerSec = float64(measuredOps) / (elapsed / 1e9)
+	elapsed := float64(end - rl.measureStart)
+	if elapsed > 0 && rl.measuredOps > 0 {
+		res.ThroughputOpsPerSec = float64(rl.measuredOps) / (elapsed / 1e9)
 	}
 	res.HitRate = store.HitRate()
 	return res
+}
+
+type pendingOp struct {
+	op    workload.Op
+	issue sim.Time
+}
+
+// runLoop is the closed-loop client/server state machine for one Run. It
+// implements sim.Handler so op completions are scheduled through the
+// engine's allocation-free handler path: the uint64 event argument names
+// an in-flight slot (one per server thread) instead of a captured
+// closure, and the dispatch queue is drained with a head index so
+// steady-state operation recycles one backing array.
+type runLoop struct {
+	eng         *sim.Engine
+	store       *Store
+	rc          *RunConfig
+	gen         OpSource
+	res         *Result
+	latH, readH *obs.Histogram
+	opsC        *obs.CounterVec
+
+	queue        []pendingOp
+	head         int // queue[head:] is the live FIFO
+	free         int // idle server threads
+	totalOps     int
+	completed    int
+	measureStart sim.Time
+	measuredOps  int
+
+	inflight []pendingOp // per-server-thread op storage, indexed by slot
+	slots    []uint64    // free slot stack
+}
+
+// HandleEvent implements sim.Handler: one server thread finishes the op
+// in slot arg.
+func (rl *runLoop) HandleEvent(now sim.Time, arg uint64) {
+	p := rl.inflight[arg]
+	rl.slots = append(rl.slots, arg)
+	rc := rl.rc
+	rl.free++
+	rl.completed++
+	if rl.completed == rc.WarmupOps {
+		rl.measureStart = now
+	}
+	if rl.opsC != nil {
+		rl.opsC.With(p.op.Kind.String()).Inc()
+	}
+	if rl.completed > rc.WarmupOps {
+		rl.measuredOps++
+		l := float64(now-p.issue) + rc.NetworkRTTNs
+		if rl.latH != nil {
+			rl.latH.Observe(l)
+		} else {
+			rl.res.Latency.Add(l)
+		}
+		if p.op.Kind == workload.OpRead {
+			if rl.readH != nil {
+				rl.readH.Observe(l)
+			} else {
+				rl.res.ReadLatency.Add(l)
+			}
+		}
+		rc.Tracer.Span("kvstore", p.op.Kind.String(), p.issue, now, nil)
+	}
+	if rl.completed+(len(rl.queue)-rl.head)+(rc.ServerThreads-rl.free) < rl.totalOps {
+		rl.queue = append(rl.queue, pendingOp{op: rl.gen.Next(), issue: now})
+	}
+	rl.dispatch(now)
+}
+
+func (rl *runLoop) dispatch(now sim.Time) {
+	for rl.free > 0 && rl.head < len(rl.queue) {
+		p := rl.queue[rl.head]
+		rl.head++
+		if rl.head == len(rl.queue) {
+			// Drained: rewind so the backing array is reused.
+			rl.queue = rl.queue[:0]
+			rl.head = 0
+		}
+		rl.free--
+		svc := rl.store.ServiceTime(p.op, now)
+		slot := rl.slots[len(rl.slots)-1]
+		rl.slots = rl.slots[:len(rl.slots)-1]
+		rl.inflight[slot] = p
+		rl.eng.AtHandler(now+sim.Time(svc), rl, slot)
+	}
 }
 
 // chargeMigration books a tick's migration traffic against the store's

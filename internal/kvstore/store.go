@@ -80,7 +80,6 @@ type Store struct {
 	machine *topology.Machine
 	alloc   *vmm.Allocator
 	space   *vmm.Space
-	paths   map[*topology.Node]*memsim.Path
 	ssd     *memsim.Path
 
 	resident  []bool  // key → in-memory?
@@ -89,15 +88,28 @@ type Store struct {
 	memKeys   int // resident key count
 	cacheCap  int // max resident keys (maxmemory)
 
-	// Per-epoch traffic accumulators (bytes).
-	nodeReadBytes  map[*topology.Node]float64
-	nodeWriteBytes map[*topology.Node]float64
+	// Per-epoch traffic accumulators and the loaded-latency cache, all
+	// indexed by node ID (the vmm.accumulateShares idiom): the epoch loop
+	// touches them once per op, so a slice index instead of a pointer-map
+	// probe removes both the hash cost and the per-epoch map churn.
+	// epochNodes lists the distinct nodes charged this epoch in
+	// first-touch order — a deterministic replacement for ranging over
+	// map keys when the flows are built.
+	paths          []*memsim.Path // node ID → socket path (lazy)
+	nodeReadBytes  []float64      // node ID → bytes this epoch
+	nodeWriteBytes []float64
+	nodeTouched    []bool // node ID → present in epochNodes
+	epochNodes     []*topology.Node
 	ssdReadBytes   float64
 	ssdWriteBytes  float64
 
-	// Loaded latencies for the current epoch, per node (ns).
-	nodeLatency map[*topology.Node]float64
-	ssdLatency  float64
+	// Loaded latencies for the current epoch (ns), by node ID, plus
+	// scratch for collecting the space's distinct resident nodes.
+	nodeLatency   []float64
+	residentSeen  []bool
+	residentNodes []*topology.Node
+	flowScratch   []memsim.OpenFlow
+	ssdLatency    float64
 
 	// Most recent epoch-solve utilization, by resource name, plus each
 	// resource's best-case peak (GB/s) for bandwidth estimation.
@@ -145,17 +157,13 @@ func NewStore(m *topology.Machine, alloc *vmm.Allocator, cfg StoreConfig) (*Stor
 		return nil, fmt.Errorf("kvstore: maxmemory < working set requires Flash")
 	}
 	s := &Store{
-		cfg:            cfg,
-		machine:        m,
-		alloc:          alloc,
-		space:          vmm.NewSpace(0),
-		paths:          map[*topology.Node]*memsim.Path{},
-		ssd:            m.SSDPath(),
-		resident:       make([]bool, cfg.SimKeys),
-		clockRef:       make([]uint8, cfg.SimKeys),
-		nodeReadBytes:  map[*topology.Node]float64{},
-		nodeWriteBytes: map[*topology.Node]float64{},
-		nodeLatency:    map[*topology.Node]float64{},
+		cfg:      cfg,
+		machine:  m,
+		alloc:    alloc,
+		space:    vmm.NewSpace(0),
+		ssd:      m.SSDPath(),
+		resident: make([]bool, cfg.SimKeys),
+		clockRef: make([]uint8, cfg.SimKeys),
 	}
 	if cfg.ValueBytes == 0 {
 		cfg.ValueBytes = 1024
@@ -256,13 +264,35 @@ func (s *Store) pageOf(key uint64) int {
 	return s.space.PageFor(off)
 }
 
+// growNode extends the node-ID-indexed scratch slices to cover id.
+func (s *Store) growNode(id int) {
+	for id >= len(s.nodeReadBytes) {
+		s.nodeReadBytes = append(s.nodeReadBytes, 0)
+		s.nodeWriteBytes = append(s.nodeWriteBytes, 0)
+		s.nodeTouched = append(s.nodeTouched, false)
+		s.nodeLatency = append(s.nodeLatency, 0)
+		s.residentSeen = append(s.residentSeen, false)
+		s.paths = append(s.paths, nil)
+	}
+}
+
+// touchNode registers n as charged this epoch.
+func (s *Store) touchNode(n *topology.Node) {
+	s.growNode(n.ID)
+	if !s.nodeTouched[n.ID] {
+		s.nodeTouched[n.ID] = true
+		s.epochNodes = append(s.epochNodes, n)
+	}
+}
+
 // pathTo returns (cached) the path from the server socket to a node.
 func (s *Store) pathTo(n *topology.Node) *memsim.Path {
-	if p, ok := s.paths[n]; ok {
+	s.growNode(n.ID)
+	if p := s.paths[n.ID]; p != nil {
 		return p
 	}
 	p := s.machine.PathFrom(s.cfg.Socket, n)
-	s.paths[n] = p
+	s.paths[n.ID] = p
 	return p
 }
 
@@ -282,7 +312,8 @@ func (s *Store) ServiceTime(op workload.Op, now sim.Time) float64 {
 	key := op.Key % uint64(s.cfg.SimKeys)
 	page := s.pageOf(key)
 	node := s.space.Pages[page].Node
-	lat := s.nodeLatency[node]
+	s.growNode(node.ID)
+	lat := s.nodeLatency[node.ID]
 	if lat == 0 {
 		lat = s.pathTo(node).IdleLatency(memsim.ReadOnly)
 	}
@@ -297,10 +328,11 @@ func (s *Store) ServiceTime(op workload.Op, now sim.Time) float64 {
 
 	read := op.Kind == workload.OpRead || op.Kind == workload.OpScan
 	lineBytes := s.depth*64 + s.cfg.ValueBytes
+	s.touchNode(node)
 	if read {
-		s.nodeReadBytes[node] += lineBytes
+		s.nodeReadBytes[node.ID] += lineBytes
 	} else {
-		s.nodeWriteBytes[node] += lineBytes
+		s.nodeWriteBytes[node.ID] += lineBytes
 	}
 
 	if s.cfg.Flash {
@@ -367,18 +399,9 @@ func (s *Store) admit(key uint64) {
 // traffic, by node pair) may be folded in by the caller beforehand via
 // AddMigrationTraffic. epochNs scales bytes to bandwidth.
 func (s *Store) EpochFlows(epochNs float64) {
-	flows := make([]memsim.OpenFlow, 0, len(s.nodeReadBytes)+1)
-	nodes := make([]*topology.Node, 0, len(s.nodeReadBytes))
-	for n := range s.nodeReadBytes {
-		nodes = append(nodes, n)
-	}
-	for n := range s.nodeWriteBytes {
-		if _, seen := s.nodeReadBytes[n]; !seen {
-			nodes = append(nodes, n)
-		}
-	}
-	for _, n := range nodes {
-		r, w := s.nodeReadBytes[n], s.nodeWriteBytes[n]
+	flows := s.flowScratch[:0]
+	for _, n := range s.epochNodes {
+		r, w := s.nodeReadBytes[n.ID], s.nodeWriteBytes[n.ID]
 		total := r + w
 		if total == 0 {
 			continue
@@ -404,13 +427,13 @@ func (s *Store) EpochFlows(epochNs float64) {
 		})
 	}
 	s.refreshLatencies(flows)
+	s.flowScratch = flows[:0]
 
-	for n := range s.nodeReadBytes {
-		delete(s.nodeReadBytes, n)
+	for _, n := range s.epochNodes {
+		s.nodeReadBytes[n.ID], s.nodeWriteBytes[n.ID] = 0, 0
+		s.nodeTouched[n.ID] = false
 	}
-	for n := range s.nodeWriteBytes {
-		delete(s.nodeWriteBytes, n)
-	}
+	s.epochNodes = s.epochNodes[:0]
 	s.ssdReadBytes, s.ssdWriteBytes = 0, 0
 }
 
@@ -425,8 +448,10 @@ func (s *Store) EpochUtilization() (util, peakGBps map[string]float64) {
 // AddMigrationTraffic charges page-migration bytes (read from src, write
 // to dst) into the epoch accumulators so tiering contends with the app.
 func (s *Store) AddMigrationTraffic(src, dst *topology.Node, bytes float64) {
-	s.nodeReadBytes[src] += bytes
-	s.nodeWriteBytes[dst] += bytes
+	s.touchNode(src)
+	s.touchNode(dst)
+	s.nodeReadBytes[src.ID] += bytes
+	s.nodeWriteBytes[dst.ID] += bytes
 }
 
 // refreshLatencies solves the flows and caches per-node loaded latency.
@@ -445,18 +470,25 @@ func (s *Store) refreshLatencies(flows []memsim.OpenFlow) {
 		s.lastUtil[r.Name] = u
 		s.lastPeak[r.Name] = r.Peak.Max()
 	}
-	nodes := map[*topology.Node]bool{}
+	nodes := s.residentNodes[:0]
 	for i := range s.space.Pages {
-		nodes[s.space.Pages[i].Node] = true
+		n := s.space.Pages[i].Node
+		s.growNode(n.ID)
+		if !s.residentSeen[n.ID] {
+			s.residentSeen[n.ID] = true
+			nodes = append(nodes, n)
+		}
 	}
-	for n := range nodes {
+	for _, n := range nodes {
 		p := s.pathTo(n)
 		lat := 0.0
 		for _, r := range p.Resources {
 			lat += r.LatencyForUtil(util[r], memsim.ReadOnly)
 		}
-		s.nodeLatency[n] = lat
+		s.nodeLatency[n.ID] = lat
+		s.residentSeen[n.ID] = false
 	}
+	s.residentNodes = nodes[:0]
 	s.ssdLatency = 0
 	for _, r := range s.ssd.Resources {
 		s.ssdLatency += r.LatencyForUtil(util[r], memsim.ReadOnly)

@@ -80,6 +80,12 @@ type Cluster struct {
 	machine *topology.Machine
 	domain  *memsim.Path
 	cxl     *memsim.Path
+
+	// placements caches the materialized Fig 10 policies. Built once at
+	// construction and read-only afterwards, so concurrent ServingRate
+	// calls share it without locking; unknown policies fall back to
+	// building a fresh placement.
+	placements map[Policy]memsim.Placement
 }
 
 // NewCluster builds the experiment platform (SNC-4 enabled, §5.1).
@@ -94,15 +100,27 @@ func NewClusterOn(m *topology.Machine) *Cluster {
 	if len(m.CXLNodes()) == 0 {
 		panic("llm: machine has no CXL node")
 	}
-	return &Cluster{
+	c := &Cluster{
 		machine: m,
 		domain:  m.PathFrom(0, m.DRAMNodes(0)[0]),
 		cxl:     m.PathFrom(0, m.CXLNodes()[0]),
 	}
+	c.placements = make(map[Policy]memsim.Placement, 4)
+	for _, p := range Fig10Policies() {
+		c.placements[p] = c.build(p)
+	}
+	return c
 }
 
 // placement materializes a policy onto the cluster's paths.
 func (c *Cluster) placement(p Policy) memsim.Placement {
+	if pl, ok := c.placements[p]; ok {
+		return pl
+	}
+	return c.build(p)
+}
+
+func (c *Cluster) build(p Policy) memsim.Placement {
 	if p.LowM == 0 {
 		return memsim.SinglePath(c.domain)
 	}
@@ -135,7 +153,7 @@ func (c *Cluster) ServingRate(p Policy, backends int) ServingPoint {
 		Mix:       memsim.Mix{ReadFrac: decodeReadFrac},
 		Offered:   demand,
 	}}
-	res, _ := memsim.SolveOpen(flows)
+	res := memsim.SolveOpenResults(flows)
 	perBackend := res[0].Achieved / float64(backends)
 
 	// Token time: serialized layer/attention dependencies at the loaded
@@ -187,7 +205,7 @@ func (c *Cluster) BackendBandwidth(threads int) float64 {
 	if demand > backendCapGBps {
 		demand = backendCapGBps
 	}
-	res, _ := memsim.SolveOpen([]memsim.OpenFlow{{
+	res := memsim.SolveOpenResults([]memsim.OpenFlow{{
 		Placement: memsim.SinglePath(c.domain),
 		Mix:       memsim.Mix{ReadFrac: decodeReadFrac},
 		Offered:   demand,

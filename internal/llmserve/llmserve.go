@@ -55,6 +55,11 @@ type Server struct {
 	cluster  *llm.Cluster
 	policy   llm.Policy
 	backends int
+	// steady is the cluster's steady-state serving point, solved once at
+	// construction: policy and backend count are fixed for the server's
+	// lifetime and ServingRate is deterministic, so re-solving per
+	// request (the old behavior) repeated the identical computation.
+	steady llm.ServingPoint
 
 	reg    *obs.Registry
 	tracer *obs.Tracer
@@ -83,7 +88,8 @@ func New(c *llm.Cluster, policy llm.Policy, backends int) *Server {
 	tr.SetLimit(traceEventLimit)
 	s := &Server{
 		cluster: c, policy: policy, backends: backends,
-		reg: reg, tracer: tr,
+		steady: c.ServingRate(policy, backends),
+		reg:    reg, tracer: tr,
 		busyUntil: make([]float64, backends),
 	}
 	s.requestsC = reg.CounterVec("llmserve_requests_total",
@@ -147,7 +153,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 	// Steady-state serving rate under the full cluster load determines
 	// this backend's per-token time.
-	sp := s.cluster.ServingRate(s.policy, s.backends)
+	sp := s.steady
 	perBackendRate := sp.TokensPerSec / float64(s.backends)
 	virtualNs := float64(req.MaxTokens) / perBackendRate * 1e9
 

@@ -112,6 +112,21 @@ func (pl Placement) normalized() Placement {
 	if sum == 0 {
 		panic("memsim: placement with zero total weight")
 	}
+	if sum == 1 {
+		// Already normalized (w/1 == w bit-for-bit): solver hot loops call
+		// normalized() once per flow per pass, so skipping the copy here
+		// removes their dominant allocation.
+		clean := true
+		for _, wp := range pl {
+			if wp.Weight == 0 {
+				clean = false
+				break
+			}
+		}
+		if clean {
+			return pl
+		}
+	}
 	out := make(Placement, 0, len(pl))
 	for _, wp := range pl {
 		if wp.Weight == 0 {

@@ -116,17 +116,24 @@ func (st *solveState) indexOf(r *Resource) int {
 
 func newSolveState(flows []OpenFlow) *solveState {
 	st := &solveState{}
+	st.init(flows)
+	return st
+}
+
+// init collects the flow set's touched resources. resources/demand may be
+// pre-seeded with (stack) backing arrays; init appends within capacity,
+// so small solves can run without heap-allocating the state.
+func (st *solveState) init(flows []OpenFlow) {
 	for _, f := range flows {
 		for _, wp := range f.Placement {
 			for _, r := range wp.Path.Resources {
 				if st.indexOf(r) < 0 {
 					st.resources = append(st.resources, r)
+					st.demand = append(st.demand, 0)
 				}
 			}
 		}
 	}
-	st.demand = make([]float64, len(st.resources))
-	return st
 }
 
 func (st *solveState) reset() {
@@ -156,6 +163,15 @@ func (st *solveState) utilization() Utilization {
 	return util
 }
 
+// demandOf reads a resource's accumulated demand without materializing
+// the map snapshot; fixed-point inner passes evaluate flows through this.
+func (st *solveState) demandOf(r *Resource) float64 {
+	if i := st.indexOf(r); i >= 0 {
+		return st.demand[i]
+	}
+	return 0
+}
+
 // SolveOpen resolves a set of offered-load flows sharing resources.
 // Returned results are index-aligned with flows. Safe for concurrent use.
 //
@@ -169,6 +185,29 @@ func SolveOpen(flows []OpenFlow) ([]FlowResult, Utilization) {
 	return results, util
 }
 
+// SolveOpenResults is SolveOpen for callers that don't need the
+// utilization snapshot: the exported map is only materialized when a
+// solve observer is installed, so uninstrumented sweeps (e.g. the Fig 10
+// serving-rate grid) pay no per-solve map allocation.
+func SolveOpenResults(flows []OpenFlow) []FlowResult {
+	// Small solves (a path is 1–3 stages; sweeps use 1–2 flows) fit in
+	// stack buffers: only the returned results reach the heap.
+	var (
+		st     solveState
+		resBuf [8]*Resource
+		demBuf [8]float64
+	)
+	st.resources = resBuf[:0]
+	st.demand = demBuf[:0]
+	st.init(flows)
+	results := make([]FlowResult, len(flows))
+	solveOpenPass(&st, flows, results)
+	if solveObserver.Load() != nil {
+		observeSolve("open", len(flows), st.utilization())
+	}
+	return results
+}
+
 // solveOpen is SolveOpen without the observer callback or cache;
 // SolveClosed's inner fixed-point iterations use solveOpenInto so a
 // closed solve reports as one observation, not hundreds.
@@ -180,27 +219,33 @@ func solveOpen(flows []OpenFlow) ([]FlowResult, Utilization) {
 }
 
 // solveOpenInto runs one open-solve pass reusing the given state and
-// results slice (both sized for flows).
+// results slice (both sized for flows), returning the exported map
+// snapshot. Fixed-point iterations that don't need the map call
+// solveOpenPass instead — the snapshot is the passes' only allocation.
 func solveOpenInto(st *solveState, flows []OpenFlow, results []FlowResult) Utilization {
+	solveOpenPass(st, flows, results)
+	return st.utilization()
+}
+
+// solveOpenPass is one allocation-free open-solve pass over st.
+func solveOpenPass(st *solveState, flows []OpenFlow, results []FlowResult) {
 	st.reset()
 	st.accumulate(flows)
-	util := st.utilization()
 	for i, f := range flows {
-		results[i] = evalFlow(f.Placement, f.Mix, f.Offered, util)
+		results[i] = evalFlow(st, f.Placement, f.Mix, f.Offered)
 	}
-	return util
 }
 
 // evalFlow computes achieved bandwidth and placement-weighted latency for
-// one flow against a fixed utilization snapshot.
-func evalFlow(pl Placement, m Mix, offered float64, util Utilization) FlowResult {
+// one flow against the solve's accumulated demand.
+func evalFlow(st *solveState, pl Placement, m Mix, offered float64) FlowResult {
 	var achieved, latSum, latWeight float64
 	for _, wp := range pl.normalized() {
 		sub := offered * wp.Weight
 		lat := 0.0
 		frac := 1.0
 		for _, r := range wp.Path.Resources {
-			u := util[r]
+			u := st.demandOf(r)
 			stage := r.latencyAt(u, m)
 			if u > 1 {
 				stage *= 1 + overloadLatencyFactor*(u-1)
@@ -249,7 +294,6 @@ func solveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
 	}
 	st := newSolveState(open)
 	results := make([]FlowResult, n)
-	var util Utilization
 	const (
 		iters = 500
 		tol   = 1e-9
@@ -272,7 +316,7 @@ func solveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
 			}
 			open[i].Offered = demand
 		}
-		util = solveOpenInto(st, open, results)
+		solveOpenPass(st, open, results)
 		maxRel := 0.0
 		for i, f := range flows {
 			newLat := results[i].Latency + f.ThinkNs
@@ -300,7 +344,7 @@ func solveClosed(flows []ClosedFlow) ([]FlowResult, Utilization) {
 		}
 		open[i].Offered = demand
 	}
-	util = solveOpenInto(st, open, results)
+	util := solveOpenInto(st, open, results)
 	// At the fixed point a closed flow's achieved bandwidth equals its
 	// offered load (injection self-limits through latency), and
 	// results[i].Latency is the memory-only loaded latency; callers add

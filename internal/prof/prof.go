@@ -1,0 +1,48 @@
+// Package prof wires the standard runtime/pprof profiles into
+// command-line tools: commands expose -cpuprofile/-memprofile flags and
+// hand the paths here. (Long-running servers use net/http/pprof on their
+// debug mux instead — see obs.RegisterDebug.)
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the flag values and returns a stop function
+// to defer: it ends the CPU profile and writes the heap profile. Empty
+// paths disable the corresponding profile, so commands can call Start
+// unconditionally.
+func Start(cpuPath, memPath string) (stop func(), err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("prof: starting CPU profile: %w", err)
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "prof: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "prof: writing heap profile: %v\n", err)
+			}
+		}
+	}, nil
+}

@@ -1,0 +1,209 @@
+package sim
+
+import "testing"
+
+// These tests pin down the event-pool reuse hazards: a retained handle
+// whose record has settled (fired/canceled) and possibly been recycled
+// for a new event must never affect — or misreport — the new occupant.
+
+// TestCancelStaleHandleDoesNotAliasReusedRecord is the core aliasing
+// hazard: cancel an event, let its record be reused, then cancel the
+// stale handle again. The new occupant must still fire.
+func TestCancelStaleHandleDoesNotAliasReusedRecord(t *testing.T) {
+	e := NewEngine()
+	a := e.At(10, func(Time) { t.Fatal("canceled event fired") })
+	e.Cancel(a)
+
+	// The freed record is top of the LIFO free list, so this reuses it.
+	fired := false
+	b := e.At(20, func(Time) { fired = true })
+
+	e.Cancel(a) // stale: must not deschedule b
+	if b.Pending() != true {
+		t.Fatal("new occupant descheduled by a stale handle")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("reused event did not fire")
+	}
+}
+
+// TestCanceledOnRecycledHandle: Canceled() is accurate from settle until
+// reuse, then conservatively false — it must never leak the new
+// occupant's state.
+func TestCanceledOnRecycledHandle(t *testing.T) {
+	e := NewEngine()
+	a := e.At(10, func(Time) {})
+	e.Cancel(a)
+	if !a.Canceled() {
+		t.Fatal("Canceled() = false right after cancel")
+	}
+
+	// Reuse the record for b, then cancel b: the stale handle a must not
+	// report b's cancellation as its own state transition, and b's handle
+	// must report it.
+	b := e.At(20, func(Time) {})
+	if a.Canceled() {
+		t.Fatal("stale handle reports state after its record was recycled")
+	}
+	e.Cancel(b)
+	if a.Canceled() {
+		t.Fatal("stale handle aliases the new occupant's canceled bit")
+	}
+	if !b.Canceled() {
+		t.Fatal("live handle lost its canceled bit")
+	}
+}
+
+// TestPendingAcrossReuse: Pending() is true only while the handle's own
+// event is scheduled.
+func TestPendingAcrossReuse(t *testing.T) {
+	e := NewEngine()
+	a := e.At(10, func(Time) {})
+	if !a.Pending() {
+		t.Fatal("scheduled event not pending")
+	}
+	e.Run()
+	if a.Pending() {
+		t.Fatal("fired event still pending")
+	}
+	b := e.At(20, func(Time) {}) // reuses a's record
+	if a.Pending() {
+		t.Fatal("stale handle pending via recycled record")
+	}
+	if !b.Pending() {
+		t.Fatal("new occupant not pending")
+	}
+	var zero Event
+	if zero.Pending() || zero.Canceled() {
+		t.Fatal("zero handle reports state")
+	}
+}
+
+// TestSameTimestampFIFOUnderPooling: the (time, seq) FIFO tie-break must
+// survive heavy record recycling — a reused record carries a fresh
+// sequence number, never its previous one.
+func TestSameTimestampFIFOUnderPooling(t *testing.T) {
+	e := NewEngine()
+	// Churn the pool: schedule, cancel, and fire enough events to cycle
+	// every record through the free list several times.
+	for round := 0; round < 10; round++ {
+		evs := make([]Event, 3*slabSize)
+		for i := range evs {
+			evs[i] = e.At(e.Now()+1, func(Time) {})
+		}
+		for i := 0; i < len(evs); i += 2 {
+			e.Cancel(evs[i])
+		}
+		e.Run()
+	}
+
+	base := e.Now() + 5
+	var order []int
+	for i := 0; i < 2*slabSize; i++ {
+		i := i
+		e.At(base, func(Time) { order = append(order, i) })
+	}
+	e.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated after pooling churn at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+// TestAtBatchFIFO: batch items at equal times fire in slice order and
+// after earlier-scheduled events at the same time.
+func TestAtBatchFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(5, func(Time) { order = append(order, 0) })
+	items := make([]BatchItem, 4)
+	for i := range items {
+		i := i
+		items[i] = BatchItem{At: 5, Fn: func(Time) { order = append(order, i+1) }}
+	}
+	e.AtBatch(items)
+	e.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("batch order = %v", order)
+		}
+	}
+}
+
+// batchHandler records handler invocations for TestAtBatchHandler.
+type batchHandler struct {
+	got []uint64
+}
+
+func (h *batchHandler) HandleEvent(_ Time, arg uint64) { h.got = append(h.got, arg) }
+
+// TestAtBatchHandler: handler-form batch items deliver their args in
+// order, interleaving with closure items by slice position.
+func TestAtBatchHandler(t *testing.T) {
+	e := NewEngine()
+	h := &batchHandler{}
+	e.AtBatch([]BatchItem{
+		{At: 3, Handler: h, Arg: 7},
+		{At: 3, Handler: h, Arg: 8},
+		{At: 2, Handler: h, Arg: 9},
+	})
+	e.Run()
+	want := []uint64{9, 7, 8}
+	for i := range want {
+		if h.got[i] != want[i] {
+			t.Fatalf("handler args = %v, want %v", h.got, want)
+		}
+	}
+}
+
+// reschedulingHandler re-arms itself until its countdown expires — the
+// fire→reschedule loop that the pool keeps allocation-free.
+type reschedulingHandler struct {
+	eng  *Engine
+	left int
+}
+
+func (h *reschedulingHandler) HandleEvent(now Time, arg uint64) {
+	if h.left--; h.left > 0 {
+		h.eng.AfterHandler(1, h, arg)
+	}
+}
+
+// TestSteadyStateSchedulingDoesNotAllocate: once the slab is warm, the
+// fire→reschedule handler loop runs with zero allocations per event.
+func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
+	e := NewEngine()
+	h := &reschedulingHandler{eng: e}
+	allocs := testing.AllocsPerRun(100, func() {
+		h.left = 1000
+		e.AfterHandler(1, h, 0)
+		e.Run()
+	})
+	// Amortized cost must be far below one allocation per event; the
+	// occasional heap growth inside container/heap is tolerated.
+	if allocs > 1 {
+		t.Fatalf("steady-state run allocated %.1f times per 1000 events", allocs)
+	}
+}
+
+// TestCancelRecycledHeapIndex: a record that fired (idx = -1) and was
+// reused sits at a new heap position; canceling through the old handle
+// must not remove the wrong heap entry.
+func TestCancelRecycledHeapIndex(t *testing.T) {
+	e := NewEngine()
+	a := e.At(1, func(Time) {})
+	e.Run() // a fires; record freed
+
+	var fired int
+	b := e.At(2, func(Time) { fired++ }) // reuses a's record
+	c := e.At(3, func(Time) { fired++ })
+	e.Cancel(a) // stale; must not touch b or c
+	e.Run()
+	if fired != 2 {
+		t.Fatalf("fired %d events after stale cancel, want 2", fired)
+	}
+	_ = b
+	_ = c
+}

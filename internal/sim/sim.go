@@ -7,6 +7,13 @@
 // Nothing in the library reads the wall clock; determinism is a hard
 // invariant (see TestDeterminism) because the paper's figures must be
 // regenerable bit-for-bit.
+//
+// The kernel is allocation-free in steady state: event records live on an
+// engine-owned free list and are recycled as they fire or are canceled.
+// Event handles carry generation counters so a retained handle for a
+// recycled record can never alias the record's new occupant (see Event).
+// For hot loops that would otherwise allocate a closure per event, the
+// Handler interface carries a uint64 argument instead of captured state.
 package sim
 
 import (
@@ -46,22 +53,82 @@ func (t Time) String() string {
 // Seconds reports the time as floating-point seconds.
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
-// Event is a scheduled callback. Events with equal fire times run in the
-// order they were scheduled (FIFO tie-break by sequence number), which is
-// what makes the kernel deterministic.
-type Event struct {
-	at   Time
-	seq  uint64
-	fn   func(now Time)
-	idx  int // heap index, -1 when popped or canceled
-	done bool
+// Handler receives an event callback together with a caller-chosen uint64
+// argument. Scheduling through a Handler instead of a closure keeps the
+// per-event cost allocation-free: the argument (typically an index into
+// caller-owned state) rides in the pooled event record, so nothing needs
+// to be captured.
+type Handler interface {
+	HandleEvent(now Time, arg uint64)
 }
 
-// Canceled reports whether the event was descheduled before firing.
-func (e *Event) Canceled() bool { return e.idx == -1 && !e.done }
+// slot is one pooled event record. Records are owned by the engine and
+// recycled through a free list; user code only ever sees Event handles.
+type slot struct {
+	at      Time
+	seq     uint64
+	fn      func(now Time)
+	handler Handler
+	arg     uint64
+	idx     int // heap index, -1 when popped or canceled
+	// gen increments once when the record settles (fires or is canceled)
+	// and once more when it is reused for a new event, so a handle can
+	// tell "still mine and pending" (gen equal), "mine and settled" (gen
+	// one ahead, canceled bit valid), and "recycled" (gen further ahead)
+	// apart. See Event.
+	gen      uint64
+	canceled bool
+}
+
+// Event is a handle to a scheduled callback. The zero Event is valid and
+// refers to no event (Cancel is a no-op, Canceled reports false).
+//
+// Handles are generation-checked: the underlying pooled record may be
+// recycled for a new event after this one fires or is canceled, and a
+// retained handle then goes stale. Operations on a stale handle are safe
+// no-ops — Cancel can never deschedule the record's new occupant, and
+// Canceled never reports the new occupant's state. Canceled stays
+// accurate from the moment the event settles until its record is reused
+// (the next At/After/AtHandler at the earliest); after that a stale
+// handle conservatively reports false.
+type Event struct {
+	s   *slot
+	gen uint64
+}
+
+// Canceled reports whether the event was descheduled before firing. For
+// the zero handle, and for a stale handle whose record has been recycled,
+// it reports false.
+func (ev Event) Canceled() bool {
+	if ev.s == nil {
+		return false
+	}
+	switch ev.s.gen {
+	case ev.gen:
+		return false // still pending
+	case ev.gen + 1:
+		return ev.s.canceled // settled, record not yet reused
+	default:
+		return false // recycled: outcome no longer tracked
+	}
+}
+
+// Pending reports whether the event is still scheduled to fire.
+func (ev Event) Pending() bool {
+	return ev.s != nil && ev.s.gen == ev.gen
+}
+
+// BatchItem is one entry of a batch schedule. Exactly one of Fn or
+// Handler must be set; Arg is passed to Handler.
+type BatchItem struct {
+	At      Time
+	Fn      func(now Time)
+	Handler Handler
+	Arg     uint64
+}
 
 // eventHeap orders events by (time, sequence).
-type eventHeap []*Event
+type eventHeap []*slot
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -76,7 +143,7 @@ func (h eventHeap) Swap(i, j int) {
 	h[j].idx = j
 }
 func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
+	e := x.(*slot)
 	e.idx = len(*h)
 	*h = append(*h, e)
 }
@@ -105,6 +172,9 @@ type Observer interface {
 	EventCanceled(now Time, pending int)
 }
 
+// slabSize is how many event records one free-list refill allocates.
+const slabSize = 64
+
 // Engine is a discrete-event simulator instance. The zero value is not
 // usable; call NewEngine.
 type Engine struct {
@@ -113,6 +183,7 @@ type Engine struct {
 	nextSq uint64
 	fired  uint64
 	obs    Observer
+	free   []*slot // recycled event records, LIFO
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -134,37 +205,113 @@ func (e *Engine) Fired() uint64 { return e.fired }
 // Pending reports how many events are scheduled but not yet fired.
 func (e *Engine) Pending() int { return len(e.queue) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the
-// past (t < Now) panics: it would silently corrupt causality.
-func (e *Engine) At(t Time, fn func(now Time)) *Event {
+// acquire pops a recycled record (or allocates a slab) and marks it live.
+func (e *Engine) acquire() *slot {
+	if len(e.free) == 0 {
+		slab := make([]slot, slabSize)
+		for i := range slab {
+			e.free = append(e.free, &slab[i])
+		}
+	}
+	s := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	s.gen++ // reuse: stale handles from the previous occupant detach
+	s.canceled = false
+	return s
+}
+
+// release settles a record (fired or canceled) and returns it to the
+// free list. Callback references are dropped so captured state is not
+// pinned past the event's lifetime.
+func (e *Engine) release(s *slot, canceled bool) {
+	s.gen++
+	s.canceled = canceled
+	s.fn = nil
+	s.handler = nil
+	s.arg = 0
+	e.free = append(e.free, s)
+}
+
+// checkTime validates a fire time against the clock.
+func (e *Engine) checkTime(t Time) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
 	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
 		panic(fmt.Sprintf("sim: scheduling event at non-finite time %v", float64(t)))
 	}
-	ev := &Event{at: t, seq: e.nextSq, fn: fn}
+}
+
+// schedule enqueues an acquired record at time t.
+func (e *Engine) schedule(s *slot, t Time) Event {
+	s.at = t
+	s.seq = e.nextSq
 	e.nextSq++
-	heap.Push(&e.queue, ev)
+	heap.Push(&e.queue, s)
 	if e.obs != nil {
 		e.obs.EventScheduled(t, len(e.queue))
 	}
-	return ev
+	return Event{s: s, gen: s.gen}
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the
+// past (t < Now) panics: it would silently corrupt causality.
+func (e *Engine) At(t Time, fn func(now Time)) Event {
+	e.checkTime(t)
+	s := e.acquire()
+	s.fn = fn
+	return e.schedule(s, t)
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func(now Time)) *Event {
+func (e *Engine) After(d Time, fn func(now Time)) Event {
 	return e.At(e.now+d, fn)
 }
 
-// Cancel removes a pending event from the queue. Canceling an event that
-// already fired (or was already canceled) is a no-op.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.idx < 0 {
+// AtHandler schedules h.HandleEvent(now, arg) at absolute virtual time t.
+// Unlike At, no closure is needed, so a hot loop that threads its state
+// through arg schedules events without allocating.
+func (e *Engine) AtHandler(t Time, h Handler, arg uint64) Event {
+	e.checkTime(t)
+	s := e.acquire()
+	s.handler = h
+	s.arg = arg
+	return e.schedule(s, t)
+}
+
+// AfterHandler schedules h.HandleEvent(now, arg) d nanoseconds from now.
+func (e *Engine) AfterHandler(d Time, h Handler, arg uint64) Event {
+	return e.AtHandler(e.now+d, h, arg)
+}
+
+// AtBatch schedules every item in one call, preserving the FIFO
+// tie-break: items at equal times fire in slice order, and the whole
+// batch fires after any previously-scheduled events at the same times.
+// The items slice is not retained, so callers may reuse a scratch slice
+// across batches.
+func (e *Engine) AtBatch(items []BatchItem) {
+	for i := range items {
+		it := &items[i]
+		e.checkTime(it.At)
+		s := e.acquire()
+		s.fn = it.Fn
+		s.handler = it.Handler
+		s.arg = it.Arg
+		e.schedule(s, it.At)
+	}
+}
+
+// Cancel removes a pending event from the queue. Canceling the zero
+// handle, an event that already fired or was already canceled, or a
+// stale handle whose record was recycled is a no-op.
+func (e *Engine) Cancel(ev Event) {
+	s := ev.s
+	if s == nil || s.gen != ev.gen || s.idx < 0 {
 		return
 	}
-	heap.Remove(&e.queue, ev.idx)
-	ev.idx = -1
+	heap.Remove(&e.queue, s.idx)
+	s.idx = -1
+	e.release(s, true)
 	if e.obs != nil {
 		e.obs.EventCanceled(e.now, len(e.queue))
 	}
@@ -176,14 +323,22 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*Event)
-	e.now = ev.at
-	ev.done = true
+	s := heap.Pop(&e.queue).(*slot)
+	e.now = s.at
 	e.fired++
+	// Copy the callback out and recycle the record before running it, so
+	// an event that schedules from its own callback (the common
+	// fire→reschedule loop) reuses its just-freed, cache-hot record.
+	fn, h, arg := s.fn, s.handler, s.arg
+	e.release(s, false)
 	if e.obs != nil {
 		e.obs.EventFired(e.now, len(e.queue))
 	}
-	ev.fn(e.now)
+	if h != nil {
+		h.HandleEvent(e.now, arg)
+	} else {
+		fn(e.now)
+	}
 	return true
 }
 
@@ -209,12 +364,13 @@ func (e *Engine) RunUntil(deadline Time) Time {
 
 // Ticker invokes fn every period until Stop is called or the engine's
 // queue drains past it. It is the backbone of epoch-driven co-simulation
-// (tiering daemons, counters, app batch loops).
+// (tiering daemons, counters, app batch loops). A ticker schedules
+// through the Handler path, so steady-state ticking does not allocate.
 type Ticker struct {
 	eng     *Engine
 	period  Time
 	fn      func(now Time)
-	ev      *Event
+	ev      Event
 	stopped bool
 }
 
@@ -229,16 +385,19 @@ func (e *Engine) Every(period Time, fn func(now Time)) *Ticker {
 	return t
 }
 
+// HandleEvent implements Handler: one tick.
+func (t *Ticker) HandleEvent(now Time, _ uint64) {
+	if t.stopped {
+		return
+	}
+	t.fn(now)
+	if !t.stopped {
+		t.arm()
+	}
+}
+
 func (t *Ticker) arm() {
-	t.ev = t.eng.After(t.period, func(now Time) {
-		if t.stopped {
-			return
-		}
-		t.fn(now)
-		if !t.stopped {
-			t.arm()
-		}
-	})
+	t.ev = t.eng.AfterHandler(t.period, t, 0)
 }
 
 // Stop prevents future ticks. Safe to call multiple times.

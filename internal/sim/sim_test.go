@@ -95,9 +95,9 @@ func TestCancel(t *testing.T) {
 	if !ev.Canceled() {
 		t.Fatal("Canceled() = false for canceled event")
 	}
-	// Double-cancel and nil-cancel are no-ops.
+	// Double-cancel and zero-handle cancel are no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(Event{})
 }
 
 func TestCancelAfterFireIsNoop(t *testing.T) {

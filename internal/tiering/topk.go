@@ -1,0 +1,104 @@
+package tiering
+
+// cand pairs a page index with its heat for migration selection.
+type cand struct {
+	idx  int
+	heat float64
+}
+
+// hotterFirst is the candidate order: hottest page first, ties broken by
+// lower page index. With the unique index as tie-break this is a strict
+// total order, which is what makes bounded selection return exactly the
+// same set (in the same order) as a full sort.
+func hotterFirst(a, b cand) bool {
+	if a.heat != b.heat {
+		return a.heat > b.heat
+	}
+	return a.idx < b.idx
+}
+
+// colderFirst is the victim order: coldest page first, ties broken by
+// lower page index.
+func colderFirst(a, b cand) bool {
+	if a.heat != b.heat {
+		return a.heat < b.heat
+	}
+	return a.idx < b.idx
+}
+
+// topk selects the best k entries under a strict total order without
+// sorting the full input: a bounded binary heap keeps the worst retained
+// entry at the root, so each offer is O(log k) and the scan is
+// O(n·log k). The entry slice is reused across ticks (reset), so
+// steady-state selection does not allocate.
+type topk struct {
+	ents []cand
+	k    int
+}
+
+// reset prepares the selector to retain at most k entries.
+func (t *topk) reset(k int) {
+	t.k = k
+	t.ents = t.ents[:0]
+}
+
+// offer considers c for the retained set: it is kept if fewer than k
+// entries are retained, or if it is better (under better) than the worst
+// retained entry, which it then evicts.
+func (t *topk) offer(c cand, better func(a, b cand) bool) {
+	if t.k <= 0 {
+		return
+	}
+	if len(t.ents) < t.k {
+		t.ents = append(t.ents, c)
+		t.siftUp(len(t.ents)-1, better)
+		return
+	}
+	if better(c, t.ents[0]) {
+		t.ents[0] = c
+		t.siftDown(0, len(t.ents), better)
+	}
+}
+
+// siftUp restores the worst-at-root property after appending at i.
+func (t *topk) siftUp(i int, better func(a, b cand) bool) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if better(t.ents[i], t.ents[p]) {
+			break // child better than parent: heap property holds
+		}
+		t.ents[i], t.ents[p] = t.ents[p], t.ents[i]
+		i = p
+	}
+}
+
+// siftDown restores the worst-at-root property over ents[:n] after
+// replacing the entry at i.
+func (t *topk) siftDown(i, n int, better func(a, b cand) bool) {
+	for {
+		w := i
+		if l := 2*i + 1; l < n && better(t.ents[w], t.ents[l]) {
+			w = l
+		}
+		if r := 2*i + 2; r < n && better(t.ents[w], t.ents[r]) {
+			w = r
+		}
+		if w == i {
+			return
+		}
+		t.ents[i], t.ents[w] = t.ents[w], t.ents[i]
+		i = w
+	}
+}
+
+// sortBestFirst heap-sorts the retained entries in place, best first, and
+// returns them. The selector must be reset before the next offer cycle.
+func (t *topk) sortBestFirst(better func(a, b cand) bool) []cand {
+	n := len(t.ents)
+	for n > 1 {
+		n--
+		t.ents[0], t.ents[n] = t.ents[n], t.ents[0]
+		t.siftDown(0, n, better)
+	}
+	return t.ents
+}

@@ -1,0 +1,108 @@
+package tiering
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randCands builds a candidate list with many duplicate heats so the
+// index tie-break is exercised heavily.
+func randCands(rng *rand.Rand, n int) []cand {
+	out := make([]cand, n)
+	for i := range out {
+		out[i] = cand{idx: i, heat: float64(rng.Intn(n / 4))}
+	}
+	return out
+}
+
+// TestTopkMatchesFullSort: bounded selection must return exactly the
+// first k entries, in order, of a full sort under the same strict total
+// order — the property that let Tick drop its two per-epoch sort.Slice
+// calls without changing which pages migrate.
+func TestTopkMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orders := []struct {
+		name   string
+		better func(a, b cand) bool
+	}{
+		{"hotterFirst", hotterFirst},
+		{"colderFirst", colderFirst},
+	}
+	var sel topk
+	for _, ord := range orders {
+		for _, n := range []int{8, 100, 1000} {
+			for _, k := range []int{0, 1, 3, n / 2, n, n + 10} {
+				cands := randCands(rng, n)
+
+				full := append([]cand(nil), cands...)
+				sort.Slice(full, func(i, j int) bool { return ord.better(full[i], full[j]) })
+				want := full
+				if k < len(want) {
+					want = want[:k]
+				}
+
+				sel.reset(k)
+				for _, c := range cands {
+					sel.offer(c, ord.better)
+				}
+				got := sel.sortBestFirst(ord.better)
+
+				if len(got) != len(want) {
+					t.Fatalf("%s n=%d k=%d: got %d entries, want %d", ord.name, n, k, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s n=%d k=%d: entry %d = %+v, want %+v", ord.name, n, k, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTopkScratchReuse: a selector reused across ticks (reset between
+// offer cycles) behaves identically to a fresh one.
+func TestTopkScratchReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var reused topk
+	for round := 0; round < 5; round++ {
+		cands := randCands(rng, 200)
+		reused.reset(17)
+		var fresh topk
+		fresh.reset(17)
+		for _, c := range cands {
+			reused.offer(c, hotterFirst)
+			fresh.offer(c, hotterFirst)
+		}
+		a := reused.sortBestFirst(hotterFirst)
+		b := fresh.sortBestFirst(hotterFirst)
+		for i := range b {
+			if a[i] != b[i] {
+				t.Fatalf("round %d entry %d: reused %+v, fresh %+v", round, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestOrderIsStrictTotal: the comparators are irreflexive and
+// asymmetric, and distinct candidates always compare one way — required
+// for "top-k ≡ prefix of full sort" to be well defined.
+func TestOrderIsStrictTotal(t *testing.T) {
+	cs := []cand{{0, 1}, {1, 1}, {2, 0.5}, {3, 2}, {0, 1}}
+	for _, better := range []func(a, b cand) bool{hotterFirst, colderFirst} {
+		for _, a := range cs {
+			if better(a, a) {
+				t.Fatal("comparator not irreflexive")
+			}
+			for _, b := range cs {
+				if a == b {
+					continue
+				}
+				if better(a, b) == better(b, a) {
+					t.Fatalf("comparator not asymmetric for %+v vs %+v", a, b)
+				}
+			}
+		}
+	}
+}

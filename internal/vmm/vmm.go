@@ -23,17 +23,31 @@ const DefaultPageSize = 2 << 20
 // policy's target nodes.
 var ErrNoCapacity = errors.New("vmm: no capacity on target nodes")
 
-// Page is one simulated page.
+// Page is one simulated page. Heat is tracked lazily: the raw counter
+// (heat) is valid as of the decay epoch stamped in decayedAt, and reads
+// through Space.Heat/Touch apply any decay epochs the page has missed.
+// That makes Space.DecayHeat O(1) instead of O(pages) — the per-epoch
+// full-array sweep was the dominant tiering-epoch cost at production
+// working-set sizes.
 type Page struct {
 	Node       *topology.Node
-	Heat       float64  // decayed access counter (accesses/epoch scale)
 	LastAccess sim.Time // time of most recent touch
+
+	heat      float64 // decayed access counter, valid as of decayedAt
+	decayedAt uint64  // decay epochs applied to heat so far
 }
 
 // Space is one application address space: a flat array of pages.
 type Space struct {
 	PageSize uint64
 	Pages    []Page
+
+	// heatEpoch counts DecayHeat calls; decayFactor is the factor shared
+	// by all epochs a page may still have pending (DecayHeat materializes
+	// outstanding decay eagerly on the rare occasion the factor changes,
+	// so a single factor always suffices).
+	heatEpoch   uint64
+	decayFactor float64
 
 	// shareScratch/shareSeen accumulate per-node mass (indexed by node
 	// ID) inside NodeShare/HeatShare, replacing a map operation per page
@@ -66,21 +80,71 @@ func (s *Space) PageFor(offset uint64) int {
 }
 
 // Touch records accesses to a page: weight is the number of accesses
-// (reads+writes) attributed, now stamps recency.
+// (reads+writes) attributed, now stamps recency. Pending lazy decay is
+// applied before the weight lands, so interleaved Touch/DecayHeat
+// sequences produce bit-identical heat to an eager per-epoch sweep.
 func (s *Space) Touch(page int, weight float64, now sim.Time) {
 	p := &s.Pages[page]
-	p.Heat += weight
+	s.syncHeat(p)
+	p.heat += weight
 	p.LastAccess = now
 }
 
+// Heat reports a page's decayed access counter (accesses/epoch scale),
+// applying any decay epochs the page has missed. Like Touch, it is a
+// mutating read (it advances the page's decay stamp) and is not safe for
+// concurrent calls on the same Space.
+func (s *Space) Heat(page int) float64 {
+	p := &s.Pages[page]
+	s.syncHeat(p)
+	return p.heat
+}
+
+// syncHeat applies the decay epochs p has missed. The factor is applied
+// by repeated multiplication — not math.Pow — so the result is
+// bit-identical to the eager per-epoch sweep it replaces.
+func (s *Space) syncHeat(p *Page) {
+	d := s.heatEpoch - p.decayedAt
+	if d == 0 {
+		return
+	}
+	p.decayedAt = s.heatEpoch
+	if p.heat == 0 {
+		return // 0 × factor is 0 for any epoch count
+	}
+	f := s.decayFactor
+	for ; d > 0; d-- {
+		p.heat *= f
+		if p.heat == 0 {
+			break // underflowed (or factor 0): stays exactly zero
+		}
+	}
+}
+
 // DecayHeat ages all heat counters by factor (0..1) — called once per
-// epoch so Heat approximates an exponentially-weighted access rate.
+// epoch so heat approximates an exponentially-weighted access rate.
+// Decay is lazy: this bumps a per-space epoch counter in O(1), and pages
+// apply factor^Δepochs when next read through Touch/Heat. Calling with a
+// different factor than the previous epoch first materializes all
+// outstanding decay (an O(pages) sweep), so mixed-factor schedules stay
+// exact; steady epoch loops use one factor and never sweep.
 func (s *Space) DecayHeat(factor float64) {
 	if factor < 0 || factor > 1 {
 		panic("vmm: decay factor outside [0,1]")
 	}
+	if factor != s.decayFactor && s.heatEpoch > 0 {
+		s.FlushHeat()
+	}
+	s.decayFactor = factor
+	s.heatEpoch++
+}
+
+// FlushHeat materializes all pending lazy decay so every page's raw
+// counter is current. Epoch loops never need this; it exists for factor
+// changes and for tests that compare against an eager sweep.
+func (s *Space) FlushHeat() {
 	for i := range s.Pages {
-		s.Pages[i].Heat *= factor
+		s.syncHeat(&s.Pages[i])
 	}
 }
 
@@ -133,7 +197,10 @@ func (s *Space) NodeShare() map[*topology.Node]float64 {
 // effective memory placement. Like NodeShare, the returned map is fresh
 // but the accumulation reuses the space's scratch.
 func (s *Space) HeatShare() map[*topology.Node]float64 {
-	nodes := s.accumulateShares(func(p *Page) float64 { return p.Heat })
+	nodes := s.accumulateShares(func(p *Page) float64 {
+		s.syncHeat(p)
+		return p.heat
+	})
 	total := 0.0
 	for _, n := range nodes {
 		total += s.shareScratch[n.ID]
@@ -183,7 +250,9 @@ func (a *Allocator) Alloc(s *Space, size uint64, pol Policy) error {
 	}
 	for _, n := range placed {
 		a.used[n.ID] += s.PageSize
-		s.Pages = append(s.Pages, Page{Node: n})
+		// New pages are born current: decay epochs before allocation do
+		// not apply to them.
+		s.Pages = append(s.Pages, Page{Node: n, decayedAt: s.heatEpoch})
 	}
 	return nil
 }

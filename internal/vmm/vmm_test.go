@@ -215,14 +215,14 @@ func TestTouchAndHeat(t *testing.T) {
 	}
 	s.Touch(0, 10, 100)
 	s.Touch(1, 30, 200)
-	if s.Pages[0].Heat != 10 || s.Pages[1].Heat != 30 {
+	if s.Heat(0) != 10 || s.Heat(1) != 30 {
 		t.Fatal("heat not accumulated")
 	}
 	if s.Pages[1].LastAccess != 200 {
 		t.Fatal("recency not stamped")
 	}
 	s.DecayHeat(0.5)
-	if s.Pages[0].Heat != 5 || s.Pages[1].Heat != 15 {
+	if s.Heat(0) != 5 || s.Heat(1) != 15 {
 		t.Fatal("decay wrong")
 	}
 }
