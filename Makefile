@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all build vet test race check bench bench-build bench-compare bench-baseline bench-compare-smoke
+.PHONY: all build vet test race race-fault check bench bench-build bench-compare bench-baseline bench-compare-smoke
 
 all: build
 
@@ -18,12 +18,20 @@ test:
 race:
 	$(GO) test -race ./...
 
-# check is the gate: vet, build, the full test suite under the race
-# detector, a build-only smoke of the benchmarks (compiles every
-# benchmark without running it, so bit-rot in bench code fails the gate
-# cheaply), and a smoke of the bench-compare tooling (parses the
-# committed baseline without running any benchmark).
-check: vet build race bench-build bench-compare-smoke
+# race-fault is the focused race gate over the fault-injection and
+# retry/degradation paths (the packages with fault-transition callbacks
+# and atomic counters). A strict subset of `race`, kept separate so the
+# reliability paths can be iterated on quickly and fail the gate first.
+race-fault:
+	$(GO) test -race ./internal/fault ./internal/kvstore ./internal/tiering
+
+# check is the gate: vet, build, the reliability-path race subset (fails
+# fast), the full test suite under the race detector, a build-only smoke
+# of the benchmarks (compiles every benchmark without running it, so
+# bit-rot in bench code fails the gate cheaply), and a smoke of the
+# bench-compare tooling (parses the committed baseline without running
+# any benchmark).
+check: vet build race-fault race bench-build bench-compare-smoke
 
 # bench records a benchstat-comparable baseline: 5 repetitions of every
 # benchmark with allocation stats, captured to BENCH_<date>.json. Compare

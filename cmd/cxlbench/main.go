@@ -11,6 +11,10 @@
 // GOMAXPROCS); tables are byte-identical at any parallelism. Elapsed
 // wall-clock per experiment goes to stderr so piped table/CSV output
 // stays clean.
+//
+// -faults <file> replays a deterministic fault schedule (see
+// docs/RELIABILITY.md) inside the serving experiments: fig5 and fig8
+// each gain a degraded pass and report degraded-vs-healthy deltas.
 package main
 
 import (
@@ -22,8 +26,15 @@ import (
 	"time"
 
 	"cxlsim/internal/core"
+	"cxlsim/internal/fault"
 	"cxlsim/internal/prof"
 )
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cxlbench: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "shrink op counts and sweeps for a fast smoke run")
@@ -31,10 +42,11 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	format := flag.String("format", "table", "output format: table or csv")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per experiment fan-out (1 = serial)")
+	faults := flag.String("faults", "", "replay this fault schedule (JSON) in the serving experiments")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: cxlbench [-quick] [-seed N] [-parallel N] all | <experiment>...\n")
+		fmt.Fprintf(os.Stderr, "usage: cxlbench [-quick] [-seed N] [-parallel N] [-faults FILE] all | <experiment>...\n")
 		fmt.Fprintf(os.Stderr, "experiments: %s\n", strings.Join(core.Experiments(), " "))
 		flag.PrintDefaults()
 	}
@@ -50,10 +62,33 @@ func main() {
 		os.Exit(2)
 	}
 	if *parallel < 1 {
-		fmt.Fprintf(os.Stderr, "cxlbench: -parallel must be >= 1\n")
-		os.Exit(2)
+		usageError("-parallel must be >= 1")
 	}
-	opt := core.Options{Quick: *quick, Seed: *seed, Parallel: *parallel}
+	if *format != "table" && *format != "csv" {
+		usageError("unknown format %q (want table or csv)", *format)
+	}
+	if *cpuprofile != "" && *cpuprofile == *memprofile {
+		usageError("-cpuprofile and -memprofile cannot share a file")
+	}
+	var schedule *fault.Schedule
+	faultsSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "faults" {
+			faultsSet = true
+		}
+	})
+	if faultsSet && *faults == "" {
+		usageError("-faults needs a schedule file")
+	}
+	if *faults != "" {
+		s, err := fault.LoadSchedule(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+			os.Exit(1)
+		}
+		schedule = s
+	}
+	opt := core.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Faults: schedule}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {

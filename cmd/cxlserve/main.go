@@ -5,12 +5,24 @@
 //
 //	cxlserve                       # defaults: -addr :8080 -policy MMEM -backends 4
 //	cxlserve -policy 3:1 -backends 5
+//	cxlserve -policy 1:1 -faults examples/degrade-cxl.json
 //	curl -XPOST localhost:8080/generate -d '{"prompt":"hi","max_tokens":64}'
+//	curl localhost:8080/health         # serving health + degraded resources
 //	curl localhost:8080/metrics        # Prometheus text exposition
 //	curl localhost:8080/metrics.json   # legacy JSON metrics
 //	curl localhost:8080/trace.json     # Chrome trace-event JSON (Perfetto)
 //	go tool pprof localhost:8080/debug/pprof/profile   # live CPU profile
 //	go tool pprof localhost:8080/debug/pprof/heap      # live heap profile
+//
+// -faults applies a fault schedule (docs/RELIABILITY.md) to the devices
+// before the cluster is built, so the serving rate reflects the degraded
+// fabric; /health reports the degraded resources and /generate responses
+// carry "degraded": true. The schedule's client block (plus -shed-after-ms)
+// configures the degraded-mode policy: shed with 503 + Retry-After under
+// queue pressure, 504 when a generation exceeds the virtual timeout.
+//
+// The server shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests for up to -drain-timeout.
 //
 // The debug mux (net/http/pprof under /debug/pprof/, expvar under
 // /debug/vars) is registered by obs.RegisterDebug; one-shot commands
@@ -18,22 +30,43 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
+	"cxlsim/internal/fault"
 	"cxlsim/internal/llm"
 	"cxlsim/internal/llmserve"
 	"cxlsim/internal/obs"
+	"cxlsim/internal/topology"
 )
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cxlserve: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cxlserve: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	names := policyNames()
 	addr := flag.String("addr", ":8080", "listen address")
 	policy := flag.String("policy", "MMEM", "placement policy: "+strings.Join(names, ", "))
 	backends := flag.Int("backends", 4, "CPU inference backends (12 threads each)")
+	faults := flag.String("faults", "", "apply this fault schedule (JSON) to the fabric before serving")
+	shedAfterMs := flag.Float64("shed-after-ms", 0, "shed requests (503) when virtual queue wait exceeds this (0 = never)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
 
 	var chosen *llm.Policy
@@ -45,24 +78,105 @@ func main() {
 		}
 	}
 	if chosen == nil {
-		log.Fatalf("cxlserve: unknown policy %q (want one of %s)", *policy, strings.Join(names, ", "))
+		usageError("unknown policy %q (want one of %s)", *policy, strings.Join(names, ", "))
 	}
 	if *backends < 1 {
-		log.Fatal("cxlserve: need at least one backend")
+		usageError("need at least one backend")
+	}
+	if *shedAfterMs < 0 {
+		usageError("-shed-after-ms cannot be negative")
+	}
+	var faultsSet bool
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "faults" {
+			faultsSet = true
+		}
+	})
+	if faultsSet && *faults == "" {
+		usageError("-faults needs a schedule file")
 	}
 
-	cluster := llm.NewCluster()
+	// Degrade the devices before the cluster is built: placements and the
+	// steady serving rate then reflect the faulted fabric. A wall-clock
+	// server has no virtual event loop to sequence transitions through, so
+	// the whole schedule is applied up front.
+	m := topology.TestbedSNC()
+	var inj *fault.Injector
+	var schedule *fault.Schedule
+	if *faults != "" {
+		var err error
+		schedule, err = fault.LoadSchedule(*faults)
+		if err != nil {
+			fatal("%v", err)
+		}
+		inj, err = fault.NewInjector(schedule, m)
+		if err != nil {
+			fatal("%v", err)
+		}
+		inj.ApplyAll()
+	}
+
+	cluster := llm.NewClusterOn(m)
 	s := llmserve.New(cluster, *chosen, *backends)
+
+	rs := llmserve.Resilience{ShedAfterNs: *shedAfterMs * 1e6}
+	if inj != nil {
+		pol := schedule.ClientPolicy()
+		rs.TimeoutNs = pol.TimeoutNs
+		rs.BackoffNs = pol.BackoffNs
+		rs.MaxRetries = pol.MaxRetries
+		s.SetHealth(func() (bool, []string) {
+			return inj.ActiveCount() > 0, inj.DegradedResources()
+		})
+	}
+	s.SetResilience(rs)
+
 	// Publish the solver's per-resource utilization/bandwidth gauges into
 	// the server's registry so /metrics exposes them alongside the serving
 	// counters; priming one ServingRate call makes the gauge family live
 	// before the first request arrives.
 	obs.InstrumentMemsim(s.Registry())
+	defer obs.InstrumentMemsim(nil)
 	rate := cluster.ServingRate(*chosen, *backends)
 
 	fmt.Printf("cxlserve: policy=%s backends=%d rate=%.0f tok/s listening on %s\n",
 		chosen.Name, *backends, rate.TokensPerSec, *addr)
-	log.Fatal(http.ListenAndServe(*addr, s.Handler()))
+	if inj != nil {
+		fmt.Printf("cxlserve: fault schedule active: %s\n", inj.Describe())
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		WriteTimeout:      60 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+
+	select {
+	case err := <-errCh:
+		// Listener died before any signal (port in use, etc.).
+		fatal("%v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills immediately
+		fmt.Fprintln(os.Stderr, "cxlserve: shutting down, draining in-flight requests")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal("shutdown: %v", err)
+		}
+		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal("%v", err)
+		}
+		fmt.Fprintln(os.Stderr, "cxlserve: drained, bye")
+	}
 }
 
 // policyNames lists the valid -policy values in figure order.

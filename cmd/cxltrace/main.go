@@ -43,7 +43,19 @@ func main() {
 	flag.Parse()
 
 	if *parallel < 1 {
-		fatal(fmt.Errorf("-parallel must be >= 1"))
+		usageError("-parallel must be >= 1")
+	}
+	if *ops < 1 {
+		usageError("-ops must be >= 1")
+	}
+	if *limit < 0 {
+		usageError("-limit cannot be negative (0 = unlimited)")
+	}
+	if *out == "" {
+		usageError("-out needs a file path")
+	}
+	if *cpuprofile != "" && *cpuprofile == *memprofile {
+		usageError("-cpuprofile and -memprofile cannot share a file")
 	}
 	runtime.GOMAXPROCS(*parallel)
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
@@ -130,4 +142,10 @@ func resolveMix(name string) (workload.YCSBMix, error) {
 func fatal(err error) {
 	fmt.Fprintf(os.Stderr, "cxltrace: %v\n", err)
 	os.Exit(1)
+}
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cxltrace: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -7,7 +7,12 @@
 //	cxlycsb -config MMEM -workload A
 //	cxlycsb -config 1:1 -spec path/to/workloada -ops 50000
 //	cxlycsb -config Hot-Promote -workload B -trace trace.json  # open in Perfetto
+//	cxlycsb -config 1:1 -workload A -faults examples/degrade-cxl.json
 //	cxlycsb -list-configs
+//
+// -faults replays a deterministic fault schedule (docs/RELIABILITY.md)
+// in a second, degraded pass on a fresh deployment and appends [FAULT]
+// delta lines comparing it to the healthy run.
 package main
 
 import (
@@ -16,10 +21,17 @@ import (
 	"os"
 	"strings"
 
+	"cxlsim/internal/fault"
 	"cxlsim/internal/kvstore"
 	"cxlsim/internal/obs"
 	"cxlsim/internal/workload"
 )
+
+func usageError(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cxlycsb: "+format+"\n", args...)
+	flag.Usage()
+	os.Exit(2)
+}
 
 func main() {
 	config := flag.String("config", "MMEM", "Table-1 configuration (see -list-configs)")
@@ -29,6 +41,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "workload seed")
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (virtual time; load in Perfetto)")
 	metrics := flag.String("metrics", "", "write a Prometheus text snapshot of the run's metrics")
+	faults := flag.String("faults", "", "replay this fault schedule (JSON) in a degraded second pass")
 	list := flag.Bool("list-configs", false, "list configurations and exit")
 	flag.Parse()
 
@@ -37,6 +50,34 @@ func main() {
 			fmt.Println(c)
 		}
 		return
+	}
+
+	if *ops < 1 {
+		usageError("-ops must be >= 1")
+	}
+	var wlSet, faultsSet bool
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "workload":
+			wlSet = true
+		case "faults":
+			faultsSet = true
+		}
+	})
+	if wlSet && *spec != "" {
+		usageError("-workload and -spec conflict; pick one")
+	}
+	if faultsSet && *faults == "" {
+		usageError("-faults needs a schedule file")
+	}
+	var schedule *fault.Schedule
+	if *faults != "" {
+		s, err := fault.LoadSchedule(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
+			os.Exit(1)
+		}
+		schedule = s
 	}
 
 	mix, records, err := resolveWorkload(*wl, *spec)
@@ -95,6 +136,49 @@ func main() {
 	if res.Migrated > 0 {
 		fmt.Printf("[TIERING], MigratedBytes, %d\n", res.Migrated)
 	}
+
+	if schedule != nil {
+		fr, err := runDegraded(*config, opts, mix, *seed, *ops, schedule)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[FAULT], Schedule, %s\n", *faults)
+		fmt.Printf("[FAULT], Throughput(ops/sec), %.1f (%+.1f%%)\n",
+			fr.ThroughputOpsPerSec, delta(fr.ThroughputOpsPerSec, res.ThroughputOpsPerSec))
+		for _, p := range []float64{50, 99} {
+			fmt.Printf("[FAULT], READ %gthPercentileLatency(us), %.1f (%+.1f%%)\n",
+				p, fr.ReadLatency.Percentile(p)/1e3,
+				delta(fr.ReadLatency.Percentile(p), res.ReadLatency.Percentile(p)))
+		}
+		fmt.Printf("[FAULT], Timeouts, %d\n", fr.Timeouts)
+		fmt.Printf("[FAULT], Retries, %d\n", fr.Retries)
+		fmt.Printf("[FAULT], FailedOps, %d\n", fr.Failed)
+	}
+}
+
+// delta is the percent change of degraded vs healthy.
+func delta(degraded, healthy float64) float64 {
+	if healthy == 0 {
+		return 0
+	}
+	return (degraded/healthy - 1) * 100
+}
+
+// runDegraded replays the fault schedule against a fresh deployment of
+// the same configuration, warmed identically to the healthy pass.
+func runDegraded(config string, opts kvstore.DeployOptions, mix workload.YCSBMix, seed int64, ops int, s *fault.Schedule) (kvstore.Result, error) {
+	d, err := kvstore.Deploy(kvstore.ConfigName(config), opts)
+	if err != nil {
+		return kvstore.Result{}, err
+	}
+	d.Warm(mix, 120, 100_000, seed)
+	rc, err := d.RunConfigWithFaults(mix, seed, s)
+	if err != nil {
+		return kvstore.Result{}, err
+	}
+	rc.Ops = ops
+	return kvstore.Run(d.Store, d.Alloc, rc), nil
 }
 
 // writeTrace serializes the run's virtual-time trace as Chrome

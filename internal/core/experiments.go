@@ -7,6 +7,7 @@ import (
 	"cxlsim/internal/analytics"
 	"cxlsim/internal/costmodel"
 	"cxlsim/internal/elastic"
+	"cxlsim/internal/fault"
 	"cxlsim/internal/kvstore"
 	"cxlsim/internal/llm"
 	"cxlsim/internal/memsim"
@@ -134,19 +135,41 @@ func Fig5(opt Options) (*Report, error) {
 	configs := kvstore.Table1Configs()
 	results := make([]kvstore.Result, len(configs)*len(mixes))
 	errs := make([]error, len(results))
-	par.ForEach(len(results), opt.Parallel, func(i int) {
+	runCell := func(i int, faults *fault.Schedule) (kvstore.Result, error) {
 		conf, mix := configs[i/len(mixes)], mixes[i%len(mixes)]
 		d, err := kvstore.Deploy(conf, kvstore.DeployOptions{SimKeys: 1 << 16})
 		if err != nil {
-			errs[i] = err
-			return
+			return kvstore.Result{}, err
 		}
 		d.Warm(mix, warmEpochs, 100_000, opt.seed())
-		rc := d.RunConfigFor(mix, opt.seed())
+		rc, err := d.RunConfigWithFaults(mix, opt.seed(), faults)
+		if err != nil {
+			return kvstore.Result{}, err
+		}
 		rc.Ops = ops
-		results[i] = kvstore.Run(d.Store, d.Alloc, rc)
+		return kvstore.Run(d.Store, d.Alloc, rc), nil
+	}
+	par.ForEach(len(results), opt.Parallel, func(i int) {
+		results[i], errs[i] = runCell(i, nil)
 	})
+	// Degraded pass: the same grid on fresh machines with the schedule
+	// replaying mid-run, reported as extra delta columns.
+	var faulted []kvstore.Result
+	if opt.Faults != nil {
+		rep.Headers = append(rep.Headers, "faulted kops/s", "Δ%")
+		faulted = make([]kvstore.Result, len(results))
+		ferrs := make([]error, len(results))
+		par.ForEach(len(results), opt.Parallel, func(i int) {
+			faulted[i], ferrs[i] = runCell(i, opt.Faults)
+		})
+		for _, err := range ferrs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
 	base := map[string]float64{}
+	var timeouts, retries, failed uint64
 	for ci, conf := range configs {
 		for mi, mix := range mixes {
 			i := ci*len(mixes) + mi
@@ -161,15 +184,28 @@ func Fig5(opt Options) (*Report, error) {
 			if b := base[mix.Name]; b > 0 {
 				slow = fmt.Sprintf("%.2fx", b/res.ThroughputOpsPerSec)
 			}
-			rep.AddRow(string(conf), mix.Name,
+			row := []string{string(conf), mix.Name,
 				fmt.Sprintf("%.0f", res.ThroughputOpsPerSec/1e3),
 				slow,
 				fmt.Sprintf("%.0f", res.Latency.Percentile(50)/1e3),
 				fmt.Sprintf("%.0f", res.Latency.Percentile(99)/1e3),
-				fmt.Sprintf("%.3f", res.HitRate))
+				fmt.Sprintf("%.3f", res.HitRate)}
+			if faulted != nil {
+				f := faulted[i]
+				row = append(row,
+					fmt.Sprintf("%.0f", f.ThroughputOpsPerSec/1e3),
+					fmt.Sprintf("%+.1f%%", (f.ThroughputOpsPerSec/res.ThroughputOpsPerSec-1)*100))
+				timeouts += f.Timeouts
+				retries += f.Retries
+				failed += f.Failed
+			}
+			rep.AddRow(row...)
 		}
 	}
 	rep.AddNote("paper: interleave 1.2–1.5x slower, SSD ≈1.8x, Hot-Promote ≈ MMEM (§4.1.2)")
+	if faulted != nil {
+		rep.AddNote("fault replay: %d timeouts, %d retries, %d failed ops across the grid — extrapolation beyond the paper's healthy-hardware data", timeouts, retries, failed)
+	}
 	return rep, nil
 }
 
@@ -236,7 +272,7 @@ func Fig8(opt Options) (*Report, error) {
 	if opt.Quick {
 		ops = 8_000
 	}
-	run := func(label string, pick func(*topology.Machine) []*topology.Node) (*kvstore.Result, error) {
+	run := func(label string, pick func(*topology.Machine) []*topology.Node, faults *fault.Schedule) (*kvstore.Result, error) {
 		m := topology.Testbed()
 		alloc := vmm.NewAllocator(m)
 		st, err := kvstore.NewStore(m, alloc, kvstore.StoreConfig{
@@ -248,11 +284,22 @@ func Fig8(opt Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		res := kvstore.Run(st, alloc, kvstore.RunConfig{Mix: workload.YCSBC, Ops: ops, Seed: opt.seed()})
+		rc := kvstore.RunConfig{Mix: workload.YCSBC, Ops: ops, Seed: opt.seed()}
+		if faults != nil {
+			inj, err := fault.NewInjector(faults, m)
+			if err != nil {
+				return nil, err
+			}
+			rc.Faults = inj
+			pol := faults.ClientPolicy()
+			rc.TimeoutNs, rc.BackoffNs, rc.MaxRetries = pol.TimeoutNs, pol.BackoffNs, pol.MaxRetries
+		}
+		res := kvstore.Run(st, alloc, rc)
 		res.Config = label
 		return &res, nil
 	}
-	// The two bindings are independent deployments; run them in parallel.
+	// The two bindings are independent deployments; run them in parallel
+	// (healthy pair first, then the degraded pair when a schedule is set).
 	bindings := []struct {
 		label string
 		pick  func(*topology.Machine) []*topology.Node
@@ -260,9 +307,19 @@ func Fig8(opt Options) (*Report, error) {
 		{"MMEM", func(m *topology.Machine) []*topology.Node { return m.DRAMNodes(0) }},
 		{"CXL", func(m *topology.Machine) []*topology.Node { return m.CXLNodes() }},
 	}
-	runs := make([]*kvstore.Result, len(bindings))
-	err := par.ForEachErr(len(bindings), opt.Parallel, func(i int) error {
-		r, err := run(bindings[i].label, bindings[i].pick)
+	cells := len(bindings)
+	if opt.Faults != nil {
+		rep.Headers = append(rep.Headers, "faulted kops/s", "Δ%")
+		cells *= 2
+	}
+	runs := make([]*kvstore.Result, cells)
+	err := par.ForEachErr(cells, opt.Parallel, func(i int) error {
+		var faults *fault.Schedule
+		if i >= len(bindings) {
+			faults = opt.Faults
+		}
+		b := bindings[i%len(bindings)]
+		r, err := run(b.label, b.pick, faults)
 		runs[i] = r
 		return err
 	})
@@ -270,16 +327,28 @@ func Fig8(opt Options) (*Report, error) {
 		return nil, err
 	}
 	mmem, cxl := runs[0], runs[1]
-	for _, r := range []*kvstore.Result{mmem, cxl} {
-		rep.AddRow(r.Config,
+	for ri, r := range []*kvstore.Result{mmem, cxl} {
+		row := []string{r.Config,
 			fmt.Sprintf("%.0f", r.ThroughputOpsPerSec/1e3),
 			fmt.Sprintf("%.1f", r.ReadLatency.Percentile(50)/1e3),
 			fmt.Sprintf("%.1f", r.ReadLatency.Percentile(90)/1e3),
-			fmt.Sprintf("%.1f", r.ReadLatency.Percentile(99)/1e3))
+			fmt.Sprintf("%.1f", r.ReadLatency.Percentile(99)/1e3)}
+		if opt.Faults != nil {
+			f := runs[len(bindings)+ri]
+			row = append(row,
+				fmt.Sprintf("%.0f", f.ThroughputOpsPerSec/1e3),
+				fmt.Sprintf("%+.1f%%", (f.ThroughputOpsPerSec/r.ThroughputOpsPerSec-1)*100))
+		}
+		rep.AddRow(row...)
 	}
 	drop := 1 - cxl.ThroughputOpsPerSec/mmem.ThroughputOpsPerSec
 	pen := cxl.ReadLatency.Percentile(50)/mmem.ReadLatency.Percentile(50) - 1
 	rep.AddNote("throughput drop %.1f%% (paper ≈12.5%%); p50 read penalty %.1f%% (paper 9–27%%)", drop*100, pen*100)
+	if opt.Faults != nil {
+		fm, fc := runs[len(bindings)], runs[len(bindings)+1]
+		rep.AddNote("fault replay: %d timeouts, %d retries, %d failed ops — extrapolation beyond the paper's healthy-hardware data",
+			fm.Timeouts+fc.Timeouts, fm.Retries+fc.Retries, fm.Failed+fc.Failed)
+	}
 	return rep, nil
 }
 

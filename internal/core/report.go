@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 
+	"cxlsim/internal/fault"
 	"cxlsim/internal/par"
 )
 
@@ -111,6 +112,13 @@ type Options struct {
 	// parallel loop writes results index-aligned and assembles rows in
 	// the original serial order.
 	Parallel int
+	// Faults, when non-nil, replays the fault schedule inside the
+	// device-level serving experiments (fig5, fig8): each cell runs
+	// twice — healthy and degraded, on fresh machines — and the report
+	// gains degraded-vs-healthy delta columns. Experiments without a
+	// per-device serving loop ignore it. With Faults nil the output is
+	// byte-identical to builds without the fault subsystem.
+	Faults *fault.Schedule
 }
 
 func (o Options) seed() int64 {

@@ -16,6 +16,7 @@ package costmodel
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Params are the Table 3 parameters.
@@ -44,8 +45,23 @@ func PaperExample() Params {
 	return Params{Rd: 10, Rc: 8, C: 2, Rt: 1.1}
 }
 
-// Validate checks parameter sanity.
+// Validate checks parameter sanity. Non-finite fields are rejected
+// explicitly: NaN compares false against every threshold below, so
+// without this guard a NaN parameter would sail through the switch and
+// poison ServerRatio's closed form with a nil error attached.
 func (p Params) Validate() error {
+	fields := []struct {
+		name string
+		v    float64
+	}{
+		{"Rd", p.Rd}, {"Rc", p.Rc}, {"C", p.C}, {"Rt", p.Rt},
+		{"FixedCostFrac", p.FixedCostFrac},
+	}
+	for _, f := range fields {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("costmodel: %s=%v must be finite", f.name, f.v)
+		}
+	}
 	switch {
 	case p.Rd <= 1:
 		return fmt.Errorf("costmodel: Rd=%v must exceed 1 (memory beats SSD)", p.Rd)
@@ -74,9 +90,19 @@ func (p Params) ServerRatio() (float64, error) {
 		return 0, err
 	}
 	num := p.C * p.Rc * (p.Rd - 1)
+	// Guard the closed-form denominator R_c·R_d·(C+1) − C·R_c − R_d.
+	// `!(den > 0)` instead of `den <= 0`: it also rejects NaN (every
+	// comparison with NaN is false), so a degenerate intermediate can
+	// never yield a garbage ratio with a nil error. Validated inputs are
+	// finite, but huge C/Rc/Rd products can still overflow to +Inf, whose
+	// difference is NaN.
 	den := p.Rc*p.Rd*(p.C+1) - p.C*p.Rc - p.Rd
-	if den <= 0 {
-		return 0, ErrNoAdvantage
+	if !(den > 0) {
+		return 0, fmt.Errorf("%w (denominator %v with Rd=%v Rc=%v C=%v)",
+			ErrNoAdvantage, den, p.Rd, p.Rc, p.C)
+	}
+	if math.IsInf(den, 1) {
+		return 0, fmt.Errorf("costmodel: denominator overflows with Rd=%v Rc=%v C=%v", p.Rd, p.Rc, p.C)
 	}
 	return num / den, nil
 }

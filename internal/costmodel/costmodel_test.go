@@ -152,6 +152,99 @@ func TestPropertyRatioBounds(t *testing.T) {
 	}
 }
 
+// Regression: NaN compares false against every threshold in Validate's
+// switch, so before the finiteness guard a NaN parameter passed
+// validation and ServerRatio returned NaN with a nil error.
+func TestValidateNonFinite(t *testing.T) {
+	nan, inf := math.NaN(), math.Inf(1)
+	base := PaperExample()
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"NaN Rd", func(p *Params) { p.Rd = nan }},
+		{"NaN Rc", func(p *Params) { p.Rc = nan }},
+		{"NaN C", func(p *Params) { p.C = nan }},
+		{"NaN Rt", func(p *Params) { p.Rt = nan }},
+		{"NaN FixedCostFrac", func(p *Params) { p.FixedCostFrac = nan }},
+		{"+Inf Rd", func(p *Params) { p.Rd = inf }},
+		{"+Inf C", func(p *Params) { p.C = inf }},
+		{"-Inf Rc", func(p *Params) { p.Rc = -inf }},
+		{"-Inf Rt", func(p *Params) { p.Rt = -inf }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("Validate accepted a non-finite parameter")
+			}
+			r, err := p.ServerRatio()
+			if err == nil {
+				t.Errorf("ServerRatio returned %v with nil error", r)
+			}
+			if math.IsNaN(r) {
+				t.Error("ServerRatio leaked NaN")
+			}
+			if _, err := p.TCOSaving(); err == nil {
+				t.Error("TCOSaving should propagate the error")
+			}
+		})
+	}
+}
+
+// The denominator guard must catch float overflow from validated (finite
+// but huge) inputs: +Inf denominators and NaN from Inf−Inf both yield
+// descriptive errors instead of 0 or NaN ratios.
+func TestDenominatorBoundary(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		// Rc·Rd overflows to +Inf ⇒ den = +Inf ⇒ num/den would be NaN.
+		{"den +Inf", Params{Rd: 1e308, Rc: 1e308, C: 1, Rt: 1}},
+		// Rc·Rd·(C+1) and C·Rc both overflow ⇒ den = Inf−Inf = NaN.
+		{"den NaN", Params{Rd: 2, Rc: 2, C: 1e308, Rt: 1}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.p.Validate(); err != nil {
+				t.Fatalf("params should pass validation (finite): %v", err)
+			}
+			r, err := tc.p.ServerRatio()
+			if err == nil {
+				t.Fatalf("ServerRatio = %v with nil error; want denominator guard to trip", r)
+			}
+			if r != 0 {
+				t.Errorf("errored ServerRatio should return 0, got %v", r)
+			}
+		})
+	}
+}
+
+// With validated parameters (Rd>1, Rc>1, C>0, no overflow) the
+// denominator is algebraically positive: it rewrites as
+// C·Rc·(Rd−1) + Rd·(Rc−1), a sum of two positive terms.
+func TestDenominatorPositiveForValidParams(t *testing.T) {
+	f := func(rdRaw, rcRaw, cRaw uint16) bool {
+		rd := 1 + float64(rdRaw%1000)/100 + 0.01 // 1.01..11
+		rc := 1 + float64(rcRaw%1000)/100 + 0.01
+		if rc > rd {
+			rc = rd
+		}
+		c := float64(1+cRaw%1000) / 100 // 0.01..10
+		p := Params{Rd: rd, Rc: rc, C: c, Rt: 1}
+		if err := p.Validate(); err != nil {
+			return true
+		}
+		r, err := p.ServerRatio()
+		return err == nil && r > 0 && !math.IsNaN(r)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func BenchmarkServerRatio(b *testing.B) {
 	p := PaperExample()
 	for i := 0; i < b.N; i++ {

@@ -3,6 +3,7 @@ package kvstore
 import (
 	"fmt"
 
+	"cxlsim/internal/fault"
 	"cxlsim/internal/obs"
 	"cxlsim/internal/sim"
 	"cxlsim/internal/stats"
@@ -53,6 +54,23 @@ type RunConfig struct {
 	// per measured op, tiering daemon tick spans, epoch utilization
 	// counters, and sampled sim queue depth.
 	Tracer *obs.Tracer
+
+	// Faults, when non-nil, installs the injector's schedule on the
+	// run's engine: device parameters change mid-run, the store re-solves
+	// on every transition, and the tiering daemon (if any) receives the
+	// injector as its health source. The injector must be built against
+	// the store's machine. Reset is called when the run ends so the
+	// machine returns to its healthy calibration.
+	Faults *fault.Injector
+
+	// TimeoutNs enables client-side timeout accounting: an attempt whose
+	// service time exceeds it is abandoned by the client (the server
+	// thread still burns the full service time) and retried after an
+	// exponential backoff, up to MaxRetries attempts. Zero disables
+	// timeouts entirely — the healthy path is unchanged.
+	TimeoutNs  float64
+	BackoffNs  float64 // base retry backoff (default TimeoutNs)
+	MaxRetries int     // retries after the first attempt (default 3; negative = none)
 }
 
 func (rc *RunConfig) fill() {
@@ -74,6 +92,17 @@ func (rc *RunConfig) fill() {
 	if rc.EpochNs == 0 {
 		rc.EpochNs = 10e6
 	}
+	if rc.TimeoutNs > 0 {
+		if rc.BackoffNs == 0 {
+			rc.BackoffNs = rc.TimeoutNs
+		}
+		if rc.MaxRetries == 0 {
+			rc.MaxRetries = 3
+		}
+		if rc.MaxRetries < 0 {
+			rc.MaxRetries = 0
+		}
+	}
 	if rc.ClientThreads < 1 || rc.ServerThreads < 1 || rc.Ops < 1 {
 		panic(fmt.Sprintf("kvstore: invalid run config %+v", *rc))
 	}
@@ -90,6 +119,11 @@ type Result struct {
 	ReadLatency *stats.Histogram
 	HitRate     float64
 	Migrated    uint64 // total page-migration traffic, bytes
+
+	// Fault-run accounting (all zero on healthy runs).
+	Timeouts uint64 // attempts abandoned past RunConfig.TimeoutNs
+	Retries  uint64 // re-issues after a timeout
+	Failed   uint64 // ops abandoned for good after MaxRetries
 }
 
 // P99Ms is a convenience accessor for tail-latency tables (Fig. 5(b)).
@@ -140,23 +174,49 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 	if instrumented && daemon != nil {
 		daemon = obs.InstrumentDaemon(daemon, rc.Metrics, rc.Tracer)
 	}
+	if rc.Faults != nil {
+		// Device parameters change inside the event loop: re-solve the
+		// store's cached latencies on every transition and let the tiering
+		// daemon route placement around degraded nodes. Reset on exit so
+		// the machine leaves the run healthy.
+		rc.Faults.Install(eng)
+		rc.Faults.OnChange(func(sim.Time) { store.Resolve() })
+		if rc.Metrics != nil {
+			rc.Faults.Instrument(rc.Metrics)
+		}
+		if hs, ok := daemon.(tiering.HealthSetter); ok {
+			hs.SetHealth(rc.Faults)
+		}
+		rc.Tiers.Health = rc.Faults
+		defer rc.Faults.Reset()
+	}
 
 	rl := &runLoop{
-		eng:      eng,
-		store:    store,
-		rc:       &rc,
-		gen:      gen,
-		res:      &res,
-		latH:     latH,
-		readH:    readH,
-		opsC:     opsC,
-		free:     rc.ServerThreads,
-		totalOps: rc.Ops + rc.WarmupOps,
-		inflight: make([]pendingOp, rc.ServerThreads),
-		slots:    make([]uint64, rc.ServerThreads),
+		eng:        eng,
+		store:      store,
+		rc:         &rc,
+		gen:        gen,
+		res:        &res,
+		latH:       latH,
+		readH:      readH,
+		opsC:       opsC,
+		free:       rc.ServerThreads,
+		totalOps:   rc.Ops + rc.WarmupOps,
+		inflight:   make([]pendingOp, rc.ServerThreads),
+		slots:      make([]uint64, rc.ServerThreads),
+		timeoutNs:  rc.TimeoutNs,
+		backoffNs:  rc.BackoffNs,
+		maxRetries: rc.MaxRetries,
 	}
 	for i := range rl.slots {
 		rl.slots[i] = uint64(i)
+	}
+	if rc.Metrics != nil && rc.TimeoutNs > 0 {
+		rl.toC = rc.Metrics.Counter(obs.MetricKVTimeouts, "attempts abandoned past the client timeout")
+		rl.rtC = rc.Metrics.Counter(obs.MetricKVRetries, "op re-issues after a timeout")
+		rl.flC = rc.Metrics.Counter(obs.MetricKVFailed, "ops abandoned after exhausting retries")
+		rl.backoffH = rc.Metrics.Histogram(obs.MetricKVBackoff,
+			"retry backoff waits, ns", stats.NewLatencyHistogram)
 	}
 
 	// Epoch ticker: resolve memory contention, run the tiering daemon,
@@ -178,6 +238,7 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 	for i := 0; i < rc.ClientThreads; i++ {
 		rl.queue = append(rl.queue, pendingOp{op: gen.Next(), issue: 0})
 	}
+	rl.inflightOps = rc.ClientThreads
 	rl.dispatch(0)
 	for rl.completed < rl.totalOps && eng.Step() {
 	}
@@ -195,6 +256,10 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 type pendingOp struct {
 	op    workload.Op
 	issue sim.Time
+	// attempt counts timeouts already suffered; abandoned marks a slot
+	// whose client gave up — the completion event only frees the thread.
+	attempt   int
+	abandoned bool
 }
 
 // runLoop is the closed-loop client/server state machine for one Run. It
@@ -220,8 +285,20 @@ type runLoop struct {
 	measureStart sim.Time
 	measuredOps  int
 
+	// inflightOps counts generated-but-not-finally-completed ops: queued,
+	// on a server thread, or waiting out a retry backoff. The generation
+	// guard completed+inflightOps < totalOps reduces to the pre-retry
+	// queue+busy expression when timeouts are disabled.
+	inflightOps int
+
 	inflight []pendingOp // per-server-thread op storage, indexed by slot
 	slots    []uint64    // free slot stack
+
+	// Client resilience (zero values = disabled, the healthy hot path).
+	timeoutNs, backoffNs float64
+	maxRetries           int
+	toC, rtC, flC        *obs.Counter
+	backoffH             *obs.Histogram
 }
 
 // HandleEvent implements sim.Handler: one server thread finishes the op
@@ -229,9 +306,16 @@ type runLoop struct {
 func (rl *runLoop) HandleEvent(now sim.Time, arg uint64) {
 	p := rl.inflight[arg]
 	rl.slots = append(rl.slots, arg)
-	rc := rl.rc
 	rl.free++
+	if p.abandoned {
+		// The client already timed this attempt out; the event only marks
+		// the server thread free again after burning the service time.
+		rl.dispatch(now)
+		return
+	}
+	rc := rl.rc
 	rl.completed++
+	rl.inflightOps--
 	if rl.completed == rc.WarmupOps {
 		rl.measureStart = now
 	}
@@ -255,10 +339,18 @@ func (rl *runLoop) HandleEvent(now sim.Time, arg uint64) {
 		}
 		rc.Tracer.Span("kvstore", p.op.Kind.String(), p.issue, now, nil)
 	}
-	if rl.completed+(len(rl.queue)-rl.head)+(rc.ServerThreads-rl.free) < rl.totalOps {
-		rl.queue = append(rl.queue, pendingOp{op: rl.gen.Next(), issue: now})
-	}
+	rl.generate(now)
 	rl.dispatch(now)
+}
+
+// generate feeds the closed loop: one fresh op per final completion,
+// until totalOps have been generated (completed+inflightOps counts every
+// op generated so far).
+func (rl *runLoop) generate(now sim.Time) {
+	if rl.completed+rl.inflightOps < rl.totalOps {
+		rl.queue = append(rl.queue, pendingOp{op: rl.gen.Next(), issue: now})
+		rl.inflightOps++
+	}
 }
 
 func (rl *runLoop) dispatch(now sim.Time) {
@@ -274,9 +366,66 @@ func (rl *runLoop) dispatch(now sim.Time) {
 		svc := rl.store.ServiceTime(p.op, now)
 		slot := rl.slots[len(rl.slots)-1]
 		rl.slots = rl.slots[:len(rl.slots)-1]
+		if rl.timeoutNs > 0 && svc > rl.timeoutNs {
+			rl.clientTimeout(p, now, slot, svc)
+			continue
+		}
 		rl.inflight[slot] = p
 		rl.eng.AtHandler(now+sim.Time(svc), rl, slot)
 	}
+}
+
+// clientTimeout handles an attempt whose service time exceeds the client
+// timeout: the server thread still burns the full service time (the work
+// is wasted, which is what makes degraded devices expensive), while the
+// client abandons at the deadline and either re-queues the op after an
+// exponential backoff or gives up for good after MaxRetries.
+func (rl *runLoop) clientTimeout(p pendingOp, now sim.Time, slot uint64, svc float64) {
+	rl.inflight[slot] = pendingOp{abandoned: true}
+	rl.eng.AtHandler(now+sim.Time(svc), rl, slot)
+	rl.res.Timeouts++
+	if rl.toC != nil {
+		rl.toC.Inc()
+	}
+	deadline := now + sim.Time(rl.timeoutNs)
+	p.attempt++
+	if p.attempt > rl.maxRetries {
+		rl.eng.At(deadline, rl.finishFailed)
+		return
+	}
+	rl.res.Retries++
+	if rl.rtC != nil {
+		rl.rtC.Inc()
+	}
+	backoff := rl.backoffNs * float64(uint64(1)<<uint(p.attempt-1))
+	if rl.backoffH != nil {
+		rl.backoffH.Observe(backoff)
+	}
+	pp := p
+	rl.eng.At(deadline+sim.Time(backoff), func(t sim.Time) { rl.requeue(pp, t) })
+}
+
+func (rl *runLoop) requeue(p pendingOp, now sim.Time) {
+	rl.queue = append(rl.queue, p)
+	rl.dispatch(now)
+}
+
+// finishFailed finally completes an op that exhausted its retries. The
+// failure still releases the closed-loop client, so a fresh op is
+// generated; failed ops do not count toward measured throughput or the
+// latency distributions.
+func (rl *runLoop) finishFailed(now sim.Time) {
+	rl.completed++
+	rl.inflightOps--
+	rl.res.Failed++
+	if rl.flC != nil {
+		rl.flC.Inc()
+	}
+	if rl.completed == rl.rc.WarmupOps {
+		rl.measureStart = now
+	}
+	rl.generate(now)
+	rl.dispatch(now)
 }
 
 // chargeMigration books a tick's migration traffic against the store's
@@ -418,6 +567,34 @@ func reserveAllBut(alloc *vmm.Allocator, space *vmm.Space, n *topology.Node, kee
 // RunConfigFor builds the standard run configuration for a deployment.
 func (d *Deployment) RunConfigFor(mix workload.YCSBMix, seed int64) RunConfig {
 	return RunConfig{Mix: mix, Seed: seed, Daemon: d.Daemon, Tiers: d.Tiers}
+}
+
+// InstallFaults builds a fault injector for the deployment's machine and
+// returns it; wire it into a run via RunConfig.Faults (RunConfigFor with
+// a schedule does both). The injector is single-run: build a fresh
+// deployment per faulted run.
+func (d *Deployment) InstallFaults(s *fault.Schedule) (*fault.Injector, error) {
+	return fault.NewInjector(s, d.Machine)
+}
+
+// RunConfigWithFaults is RunConfigFor plus fault wiring: the schedule is
+// installed on the run and its client resilience policy (if any) enables
+// timeout/retry accounting.
+func (d *Deployment) RunConfigWithFaults(mix workload.YCSBMix, seed int64, s *fault.Schedule) (RunConfig, error) {
+	rc := d.RunConfigFor(mix, seed)
+	if s == nil {
+		return rc, nil
+	}
+	inj, err := d.InstallFaults(s)
+	if err != nil {
+		return rc, err
+	}
+	rc.Faults = inj
+	pol := s.ClientPolicy()
+	rc.TimeoutNs = pol.TimeoutNs
+	rc.BackoffNs = pol.BackoffNs
+	rc.MaxRetries = pol.MaxRetries
+	return rc, nil
 }
 
 // Warm drives the deployment to its steady state before measurement: it

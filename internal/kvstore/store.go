@@ -215,6 +215,16 @@ func NewStore(m *topology.Machine, alloc *vmm.Allocator, cfg StoreConfig) (*Stor
 	return s, nil
 }
 
+// Machine exposes the topology the store's heap lives on, so fault
+// injectors can be built against the same device set.
+func (s *Store) Machine() *topology.Machine { return s.machine }
+
+// Resolve recomputes the store's cached per-node latencies from the
+// devices' *current* parameters at idle load. Fault injectors call it on
+// every fault transition so service times react immediately; the next
+// epoch's EpochFlows re-solves with real traffic.
+func (s *Store) Resolve() { s.refreshLatencies(nil) }
+
 // LSMStats exposes the Flash tree's shape (nil-safe; zero without LSM).
 func (s *Store) LSMStats() lsm.Stats {
 	if s.tree == nil {

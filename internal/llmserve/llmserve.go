@@ -48,6 +48,25 @@ type Response struct {
 	QueueWaitMs      float64 `json:"queue_wait_ms"`
 	TokensPerSec     float64 `json:"tokens_per_sec"`
 	Policy           string  `json:"policy"`
+	Retries          int     `json:"retries,omitempty"`
+	Degraded         bool    `json:"degraded,omitempty"`
+}
+
+// Resilience is the server's degraded-mode response policy. Zero values
+// disable each mechanism; configure before serving starts (the fields
+// are read without locking on the request path).
+type Resilience struct {
+	// ShedAfterNs sheds a request with 503 + Retry-After when the routed
+	// backend's queue wait exceeds it, instead of booking ever-deeper
+	// virtual backlog.
+	ShedAfterNs float64
+	// TimeoutNs bounds one attempt's virtual service time. An attempt
+	// over budget is retried on the least-loaded backend after an
+	// exponential backoff (charged to the request's virtual latency); a
+	// request still over budget after MaxRetries gets 504.
+	TimeoutNs  float64
+	BackoffNs  float64
+	MaxRetries int
 }
 
 // Server is the Fig. 9 stack: frontend + router + n backends.
@@ -66,9 +85,17 @@ type Server struct {
 
 	requestsC   *obs.Counter
 	tokensC     *obs.Counter
+	shedC       *obs.Counter
+	timeoutC    *obs.Counter
+	retryC      *obs.Counter
 	reqLatency  *obs.Histogram
 	queueWait   *obs.Histogram
 	clusterRate *obs.Gauge
+
+	// resilience and health are configured before serving starts and
+	// read without locking on the request path.
+	resilience Resilience
+	health     func() (degraded bool, detail []string)
 
 	next      atomic.Uint64 // round-robin router cursor
 	mu        sync.Mutex
@@ -103,8 +130,24 @@ func New(c *llm.Cluster, policy llm.Policy, backends int) *Server {
 		stats.NewLatencyHistogram)
 	s.clusterRate = reg.Gauge("llmserve_cluster_tokens_per_sec",
 		"steady-state cluster serving rate under the current policy")
+	s.shedC = reg.Counter("llmserve_shed_total",
+		"requests shed with 503 because the routed backend's queue wait exceeded the shed threshold")
+	s.timeoutC = reg.Counter("llmserve_timeouts_total",
+		"requests rejected with 504 after exhausting retries over the virtual timeout")
+	s.retryC = reg.Counter("llmserve_retries_total",
+		"attempt reroutes after a virtual timeout")
 	return s
 }
+
+// SetResilience installs the degraded-mode response policy. Call before
+// serving starts.
+func (s *Server) SetResilience(r Resilience) { s.resilience = r }
+
+// SetHealth installs a health source consulted by /health and stamped
+// onto responses (fault.Injector's ActiveCount/DegradedResources wrap
+// naturally). Call before serving starts; fn must be safe for concurrent
+// use.
+func (s *Server) SetHealth(fn func() (degraded bool, detail []string)) { s.health = fn }
 
 // Registry exposes the server's metrics registry (e.g. for pcm sampling
 // or merging into a process-wide exporter).
@@ -123,6 +166,7 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/generate", s.handleGenerate)
+	mux.HandleFunc("/health", s.handleHealth)
 	mux.Handle("/metrics", obs.PromHandler(s.reg))
 	mux.Handle("/metrics.json", http.HandlerFunc(s.handleMetricsJSON))
 	mux.HandleFunc("/trace.json", s.handleTrace)
@@ -156,10 +200,13 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	sp := s.steady
 	perBackendRate := sp.TokensPerSec / float64(s.backends)
 	virtualNs := float64(req.MaxTokens) / perBackendRate * 1e9
+	rs := s.resilience
 
 	// Advance the virtual backend timeline: the request starts when its
 	// backend frees up; the frontier (least-loaded backend) is when a
-	// perfect router could have started it.
+	// perfect router could have started it. Everything inside the lock is
+	// admission control: shed before booking, reroute timed-out attempts
+	// to the least-loaded backend, and only then commit the timeline.
 	s.mu.Lock()
 	frontier := s.busyUntil[0]
 	for _, b := range s.busyUntil[1:] {
@@ -169,6 +216,42 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	}
 	start := s.busyUntil[backend]
 	wait := start - frontier
+	if rs.ShedAfterNs > 0 && wait > rs.ShedAfterNs {
+		s.mu.Unlock()
+		s.shedC.Inc()
+		// Retry-After in wall seconds is meaningless for a virtual
+		// backlog; report the virtual wait rounded up so clients can
+		// still back off proportionally.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(wait/1e9)+1))
+		http.Error(w, fmt.Sprintf("backend %d backlog %.1f ms exceeds shed threshold", backend, wait/1e6),
+			http.StatusServiceUnavailable)
+		return
+	}
+	retries := 0
+	if rs.TimeoutNs > 0 && virtualNs > rs.TimeoutNs {
+		// The per-token rate is cluster-wide, so a generation over the
+		// virtual budget stays over budget on every backend: retries
+		// reroute to the least-loaded backend (improving only queue wait),
+		// burn their exponential backoff, and the request ultimately fails
+		// with 504 — degraded mode refuses unserveable work instead of
+		// booking virtual backlog no client would wait out.
+		for retries < rs.MaxRetries {
+			retries++
+			for i, b := range s.busyUntil {
+				if b < s.busyUntil[backend] {
+					backend = i
+				}
+			}
+		}
+		s.mu.Unlock()
+		s.timeoutC.Inc()
+		if retries > 0 {
+			s.retryC.Add(float64(retries))
+		}
+		http.Error(w, fmt.Sprintf("generation exceeds virtual timeout after %d retries (need %.1f ms, budget %.1f ms)",
+			retries, virtualNs/1e6, rs.TimeoutNs/1e6), http.StatusGatewayTimeout)
+		return
+	}
 	end := start + virtualNs
 	s.busyUntil[backend] = end
 	s.served++
@@ -188,6 +271,10 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 			"queue_wait_ns": wait,
 		})
 
+	degraded := false
+	if s.health != nil {
+		degraded, _ = s.health()
+	}
 	resp := Response{
 		Backend:          backend,
 		Tokens:           req.MaxTokens,
@@ -195,10 +282,41 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		QueueWaitMs:      wait / 1e6,
 		TokensPerSec:     perBackendRate,
 		Policy:           s.policy.Name,
+		Retries:          retries,
+		Degraded:         degraded,
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(resp); err != nil {
 		// Client went away mid-write; nothing recoverable.
+		return
+	}
+}
+
+// Health is the /health payload.
+type Health struct {
+	Status   string   `json:"status"` // "ok" or "degraded"
+	Policy   string   `json:"policy"`
+	Backends int      `json:"backends"`
+	Degraded []string `json:"degraded_resources,omitempty"`
+}
+
+// handleHealth answers 200 whenever the process is serving — degradation
+// is reported in the body, not the status code, so orchestrators do not
+// kill a pod that is shedding load exactly as designed.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	h := Health{Status: "ok", Policy: s.policy.Name, Backends: s.backends}
+	if s.health != nil {
+		if degraded, detail := s.health(); degraded {
+			h.Status = "degraded"
+			h.Degraded = detail
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(h); err != nil {
 		return
 	}
 }

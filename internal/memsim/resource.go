@@ -133,6 +133,31 @@ func (r *Resource) Degrade(bwFactor, latFactor float64) {
 	r.IdleWrite *= latFactor
 }
 
+// State is the subset of a Resource's calibration that Degrade mutates,
+// captured by Snapshot so fault injectors can compose and later undo
+// perturbations against a pristine baseline.
+type State struct {
+	IdleRead  float64
+	IdleWrite float64
+	Peak      Curve
+}
+
+// Snapshot captures the Degrade-mutable calibration. Curve is safe to
+// hold by value: Degrade always installs a freshly built Peak and never
+// mutates points in place.
+func (r *Resource) Snapshot() State {
+	return State{IdleRead: r.IdleRead, IdleWrite: r.IdleWrite, Peak: r.Peak}
+}
+
+// Restore reinstates a previously captured Snapshot. Like Degrade it is
+// a configuration-time mutation: do not call it concurrently with solves
+// over paths that include this resource.
+func (r *Resource) Restore(s State) {
+	r.IdleRead = s.IdleRead
+	r.IdleWrite = s.IdleWrite
+	r.Peak = s.Peak
+}
+
 // LatencyForUtil exposes the loaded-latency model to application
 // simulators that track utilization snapshots across epochs: it returns
 // this stage's per-access latency (ns) for mix m at utilization u.

@@ -23,6 +23,15 @@ const (
 	MetricTierDemotedPages  = "tiering_demoted_pages_total"
 	MetricTierMigratedBytes = "tiering_migrated_bytes_total"
 	MetricTierThreshold     = "tiering_promote_threshold"
+
+	MetricFaultInjected = "fault_injected_total"
+	MetricFaultCleared  = "fault_cleared_total"
+	MetricFaultActive   = "fault_active"
+
+	MetricKVTimeouts = "kvstore_timeouts_total"
+	MetricKVRetries  = "kvstore_retries_total"
+	MetricKVFailed   = "kvstore_failed_ops_total"
+	MetricKVBackoff  = "kvstore_retry_backoff_ns"
 )
 
 // KernelObserver implements sim.Observer: it counts event lifecycle
@@ -149,6 +158,14 @@ func InstrumentDaemon(d tiering.Daemon, reg *Registry, tr *Tracer) tiering.Daemo
 
 // Name implements tiering.Daemon.
 func (d *instrumentedDaemon) Name() string { return d.inner.Name() }
+
+// SetHealth forwards to the wrapped daemon when it accepts a health
+// source, so instrumentation does not hide fault-awareness.
+func (d *instrumentedDaemon) SetHealth(h tiering.Health) {
+	if hs, ok := d.inner.(tiering.HealthSetter); ok {
+		hs.SetHealth(h)
+	}
+}
 
 // Tick implements tiering.Daemon.
 func (d *instrumentedDaemon) Tick(now sim.Time, space *vmm.Space, alloc *vmm.Allocator) tiering.Report {
