@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all build vet test race race-fault check bench bench-build bench-compare bench-baseline bench-compare-smoke
+.PHONY: all build vet test race race-fault check bench bench-build bench-compare bench-baseline bench-compare-smoke report-smoke
 
 all: build
 
@@ -28,10 +28,10 @@ race-fault:
 # check is the gate: vet, build, the reliability-path race subset (fails
 # fast), the full test suite under the race detector, a build-only smoke
 # of the benchmarks (compiles every benchmark without running it, so
-# bit-rot in bench code fails the gate cheaply), and a smoke of the
+# bit-rot in bench code fails the gate cheaply), a smoke of the
 # bench-compare tooling (parses the committed baseline without running
-# any benchmark).
-check: vet build race-fault race bench-build bench-compare-smoke
+# any benchmark), and the report determinism smoke.
+check: vet build race-fault race bench-build bench-compare-smoke report-smoke
 
 # bench records a benchstat-comparable baseline: 5 repetitions of every
 # benchmark with allocation stats, captured to BENCH_<date>.json. Compare
@@ -64,3 +64,13 @@ bench-baseline:
 # baseline still parses and the tool builds, cheap enough for `check`.
 bench-compare-smoke:
 	$(GO) run ./cmd/benchdiff bench/BASELINE.txt bench/BASELINE.txt > /dev/null
+
+# report-smoke builds cxlreport, renders the committed fixture run dumps,
+# and fails on any byte difference from the committed golden report —
+# the scenario report is deterministic by contract. Regenerate after an
+# intentional report change with:
+#   $(GO) test ./cmd/cxlreport -run TestGolden -update
+report-smoke:
+	$(GO) run ./cmd/cxlreport -o /tmp/report-smoke.html \
+		cmd/cxlreport/testdata/healthy.json cmd/cxlreport/testdata/degraded.json
+	cmp /tmp/report-smoke.html cmd/cxlreport/testdata/golden.html

@@ -8,9 +8,10 @@
 // Benchmarks are matched by name (the -GOMAXPROCS suffix is stripped);
 // repeated counts collapse to the median, which is robust to the warmup
 // noise a count=1 run shows. Exit status 1 means at least one benchmark
-// in both files regressed ns/op by more than -threshold percent;
-// benchmarks present in only one file are reported but do not fail the
-// comparison.
+// in both files regressed ns/op, allocs/op, or B/op by more than
+// -threshold percent (memory gating needs -benchmem in both files; a
+// zero allocs/op baseline fails on any new allocation); benchmarks
+// present in only one file are reported but do not fail the comparison.
 package main
 
 import (
@@ -49,7 +50,7 @@ func main() {
 	report, failed := diff(old, cur, *threshold)
 	fmt.Print(report)
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: ns/op regression beyond %.0f%%\n", *threshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: ns/op, allocs/op, or B/op regression beyond %.0f%%\n", *threshold)
 		os.Exit(1)
 	}
 }

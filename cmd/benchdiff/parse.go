@@ -11,7 +11,9 @@ import (
 type series struct {
 	nsPerOp  []float64
 	allocs   []float64
+	bytes    []float64
 	hasAlloc bool
+	hasBytes bool
 }
 
 // medianNs reports the median ns/op across repetitions.
@@ -23,6 +25,14 @@ func (s *series) medianAllocs() float64 {
 		return -1
 	}
 	return median(s.allocs)
+}
+
+// medianBytes reports the median B/op, or -1 when -benchmem was off.
+func (s *series) medianBytes() float64 {
+	if !s.hasBytes {
+		return -1
+	}
+	return median(s.bytes)
 }
 
 func median(xs []float64) float64 {
@@ -55,9 +65,8 @@ func parse(out string) map[string]*series {
 				name = name[:i]
 			}
 		}
-		var ns float64
-		var allocs float64
-		hasNs, hasAlloc := false, false
+		var ns, allocs, bytes float64
+		hasNs, hasAlloc, hasBytes := false, false, false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
@@ -66,6 +75,8 @@ func parse(out string) map[string]*series {
 			switch fields[i+1] {
 			case "ns/op":
 				ns, hasNs = v, true
+			case "B/op":
+				bytes, hasBytes = v, true
 			case "allocs/op":
 				allocs, hasAlloc = v, true
 			}
@@ -83,13 +94,28 @@ func parse(out string) map[string]*series {
 			s.allocs = append(s.allocs, allocs)
 			s.hasAlloc = true
 		}
+		if hasBytes {
+			s.bytes = append(s.bytes, bytes)
+			s.hasBytes = true
+		}
 	}
 	return results
 }
 
+// regressed reports whether new vs old breaches the threshold percent.
+// A zero baseline regresses only by becoming nonzero: an alloc-free
+// benchmark that starts allocating fails regardless of magnitude.
+func regressed(old, cur, threshold float64) bool {
+	if old == 0 {
+		return cur > 0
+	}
+	return (cur-old)/old*100 > threshold
+}
+
 // diff renders an old-vs-new comparison table and reports whether any
-// benchmark present in both files regressed ns/op beyond threshold
-// percent.
+// benchmark present in both files regressed ns/op, allocs/op, or B/op
+// beyond threshold percent. Memory rows only print when the medians
+// differ; memory gating needs -benchmem in both files.
 func diff(old, cur map[string]*series, threshold float64) (string, bool) {
 	names := make([]string, 0, len(old))
 	for name := range old {
@@ -105,6 +131,24 @@ func diff(old, cur map[string]*series, threshold float64) (string, bool) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%-34s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "delta")
 	failed := false
+	memRow := func(name, unit string, oa, na float64) {
+		if oa < 0 || na < 0 {
+			return
+		}
+		mark := ""
+		if regressed(oa, na, threshold) {
+			mark = "  FAIL"
+			failed = true
+		}
+		if oa == na && mark == "" {
+			return
+		}
+		ad := 0.0
+		if oa > 0 {
+			ad = (na - oa) / oa * 100
+		}
+		fmt.Fprintf(&b, "%-34s %14.0f %14.0f %+7.1f%%  (%s)%s\n", name, oa, na, ad, unit, mark)
+	}
 	for _, name := range names {
 		o, n := old[name], cur[name]
 		switch {
@@ -121,13 +165,8 @@ func diff(old, cur map[string]*series, threshold float64) (string, bool) {
 			}
 			fmt.Fprintf(&b, "%-34s %14.0f %14.0f %+7.1f%%%s\n",
 				name, o.medianNs(), n.medianNs(), delta, mark)
-			if oa, na := o.medianAllocs(), n.medianAllocs(); oa >= 0 && na >= 0 && oa != na {
-				ad := 0.0
-				if oa > 0 {
-					ad = (na - oa) / oa * 100
-				}
-				fmt.Fprintf(&b, "%-34s %14.0f %14.0f %+7.1f%%  (allocs/op)\n", "", oa, na, ad)
-			}
+			memRow("", "allocs/op", o.medianAllocs(), n.medianAllocs())
+			memRow("", "B/op", o.medianBytes(), n.medianBytes())
 		}
 	}
 	return b.String(), failed

@@ -67,6 +67,59 @@ func TestDiffFlagsRegression(t *testing.T) {
 	}
 }
 
+func TestParseBytes(t *testing.T) {
+	got := parse(sampleOut)
+	if m := got["BenchmarkFig8CXLOnlyKeyDB"].medianBytes(); m != 16922610 {
+		t.Fatalf("Fig8 median B/op = %g, want 16922610", m)
+	}
+	noMem := parse("BenchmarkA-8 10 100 ns/op\n")
+	if m := noMem["BenchmarkA"].medianBytes(); m != -1 {
+		t.Fatalf("B/op without -benchmem = %g, want -1", m)
+	}
+}
+
+func TestDiffFlagsAllocRegression(t *testing.T) {
+	old := parse("BenchmarkA-8 10 100 ns/op 1000 B/op 10 allocs/op\n")
+	cur := parse("BenchmarkA-8 10 100 ns/op 1000 B/op 12 allocs/op\n")
+	report, failed := diff(old, cur, 10)
+	if !failed {
+		t.Fatalf("20%% allocs/op regression not flagged at threshold 10%%:\n%s", report)
+	}
+	if !strings.Contains(report, "allocs/op") || !strings.Contains(report, "FAIL") {
+		t.Fatalf("report missing allocs/op FAIL marker:\n%s", report)
+	}
+}
+
+func TestDiffFlagsBytesRegression(t *testing.T) {
+	old := parse("BenchmarkA-8 10 100 ns/op 1000 B/op 10 allocs/op\n")
+	cur := parse("BenchmarkA-8 10 100 ns/op 1200 B/op 10 allocs/op\n")
+	report, failed := diff(old, cur, 10)
+	if !failed {
+		t.Fatalf("20%% B/op regression not flagged at threshold 10%%:\n%s", report)
+	}
+	if !strings.Contains(report, "B/op") || !strings.Contains(report, "FAIL") {
+		t.Fatalf("report missing B/op FAIL marker:\n%s", report)
+	}
+}
+
+func TestDiffZeroAllocBaselineFailsOnAnyAlloc(t *testing.T) {
+	old := parse("BenchmarkA-8 10 100 ns/op 0 B/op 0 allocs/op\n")
+	cur := parse("BenchmarkA-8 10 100 ns/op 8 B/op 1 allocs/op\n")
+	_, failed := diff(old, cur, 10)
+	if !failed {
+		t.Fatal("alloc-free baseline gaining an allocation must fail")
+	}
+}
+
+func TestDiffMemoryWithinThresholdIsClean(t *testing.T) {
+	old := parse("BenchmarkA-8 10 100 ns/op 1000 B/op 100 allocs/op\n")
+	cur := parse("BenchmarkA-8 10 100 ns/op 1050 B/op 105 allocs/op\n")
+	report, failed := diff(old, cur, 10)
+	if failed {
+		t.Fatalf("5%% memory growth flagged at threshold 10%%:\n%s", report)
+	}
+}
+
 func TestDiffSelfIsClean(t *testing.T) {
 	base := parse(sampleOut)
 	_, failed := diff(base, base, 10)

@@ -15,9 +15,16 @@
 // -faults <file> replays a deterministic fault schedule (see
 // docs/RELIABILITY.md) inside the serving experiments: fig5 and fig8
 // each gain a degraded pass and report degraded-vs-healthy deltas.
+//
+// -windows turns on fixed virtual-time windowed metric aggregation in
+// the experiments that support it (fig8); -slo evaluates an SLO spec
+// over those windows, and -report renders every windowed run collected
+// across the requested experiments as one self-contained HTML report
+// (see docs/OBSERVABILITY.md).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +35,8 @@ import (
 	"cxlsim/internal/core"
 	"cxlsim/internal/fault"
 	"cxlsim/internal/prof"
+	"cxlsim/internal/report"
+	"cxlsim/internal/slo"
 )
 
 func usageError(format string, args ...any) {
@@ -43,6 +52,9 @@ func main() {
 	format := flag.String("format", "table", "output format: table or csv")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per experiment fan-out (1 = serial)")
 	faults := flag.String("faults", "", "replay this fault schedule (JSON) in the serving experiments")
+	sloPath := flag.String("slo", "", "evaluate this SLO spec (JSON) over windowed experiment cells")
+	windowsMs := flag.Float64("windows", 0, "windowed metric aggregation, virtual ms (0 = off; -slo/-report default it to the spec's window_ms or 10)")
+	reportPath := flag.String("report", "", "write windowed runs as a self-contained HTML report")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = func() {
@@ -88,7 +100,28 @@ func main() {
 		}
 		schedule = s
 	}
-	opt := core.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Faults: schedule}
+	if *windowsMs < 0 {
+		usageError("-windows cannot be negative")
+	}
+	var sloSpec *slo.Spec
+	if *sloPath != "" {
+		s, err := slo.Load(*sloPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+			os.Exit(1)
+		}
+		sloSpec = s
+	}
+	windowNs := *windowsMs * 1e6
+	if windowNs == 0 && (sloSpec != nil || *reportPath != "") {
+		if sloSpec != nil && sloSpec.WindowMs > 0 {
+			windowNs = sloSpec.WindowMs * 1e6
+		} else {
+			windowNs = 10 * 1e6
+		}
+	}
+	opt := core.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Faults: schedule,
+		WindowNs: windowNs, SLO: sloSpec}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -101,6 +134,7 @@ func main() {
 	if len(args) == 1 && args[0] == "all" {
 		ids = core.Experiments()
 	}
+	var windowedRuns []*report.Run
 	for _, id := range ids {
 		start := time.Now()
 		rep, err := core.Run(id, opt)
@@ -109,6 +143,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
 			os.Exit(1)
 		}
+		windowedRuns = append(windowedRuns, rep.Runs...)
 		switch *format {
 		case "table":
 			rep.WriteTable(os.Stdout)
@@ -123,4 +158,33 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "cxlbench: %s in %s (parallel=%d)\n", id, elapsed.Round(time.Millisecond), *parallel)
 	}
+	if *reportPath != "" {
+		if len(windowedRuns) == 0 {
+			fmt.Fprintf(os.Stderr, "cxlbench: -report: no windowed runs collected (only fig8 supports windows)\n")
+			os.Exit(1)
+		}
+		if err := writeReport(*reportPath, windowedRuns); err != nil {
+			fmt.Fprintf(os.Stderr, "cxlbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cxlbench: wrote %s (%d run(s))\n", *reportPath, len(windowedRuns))
+	}
+}
+
+// writeReport renders the windowed runs as a self-contained HTML report.
+func writeReport(path string, runs []*report.Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := report.WriteHTML(w, runs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

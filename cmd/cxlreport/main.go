@@ -1,0 +1,66 @@
+// Command cxlreport renders one or more windowed run dumps (written by
+// cxlycsb/cxlbench with -dump, or assembled by hand) into a
+// self-contained HTML scenario report: per-window latency percentiles,
+// rates, SLO attainment, and the burn-rate alert timeline.
+//
+//	cxlreport -o report.html healthy.json degraded.json
+//
+// Output is byte-identical for identical inputs, so reports can be
+// golden-tested (see make report-smoke).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"cxlsim/internal/report"
+)
+
+func main() {
+	out := flag.String("o", "report.html", "output HTML path (- for stdout)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: cxlreport [-o report.html] run.json [run.json ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	runs := make([]*report.Run, 0, flag.NArg())
+	for _, path := range flag.Args() {
+		r, err := report.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cxlreport:", err)
+			os.Exit(1)
+		}
+		runs = append(runs, r)
+	}
+
+	var w *bufio.Writer
+	if *out == "-" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cxlreport:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := report.WriteHTML(w, runs); err != nil {
+		fmt.Fprintln(os.Stderr, "cxlreport:", err)
+		os.Exit(1)
+	}
+	if err := w.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "cxlreport:", err)
+		os.Exit(1)
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "cxlreport: wrote %s (%d run(s))\n", *out, len(runs))
+	}
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cxlsim/internal/obs"
+	"cxlsim/internal/report"
+	"cxlsim/internal/slo"
+	"cxlsim/internal/stats"
+)
+
+// -update regenerates testdata/: the fixture run dumps and the golden
+// report. `make report-smoke` re-renders the fixtures with the live code
+// and fails on any byte difference from the golden.
+var update = flag.Bool("update", false, "rewrite testdata fixtures and golden report")
+
+// fixtureRuns fabricates a compact healthy/degraded pair: ~1k ops per
+// 10ms window, a degraded interval in windows 3–5 with tail-latency
+// inflation and failed ops, and the kvstore SLO spec evaluated over it
+// so the degraded run fires latency-fast-burn.
+func fixtureRuns(t *testing.T) []*report.Run {
+	t.Helper()
+	spec := slo.Spec{
+		Name:     "keydb-ycsb",
+		WindowMs: 10,
+		Objectives: []slo.Objective{
+			{Name: "op-latency", Kind: slo.KindLatency, Metric: "kvstore_op_latency_ns", ThresholdNs: 1e6, Target: 0.99},
+			{Name: "availability", Kind: slo.KindAvailability, Metric: "kvstore_ops_total", BadMetric: "kvstore_failed_ops_total", Target: 0.999},
+		},
+		Alerts: []slo.AlertRule{
+			{Name: "latency-fast-burn", Objective: "op-latency", LongWindows: 3, ShortWindows: 1, BurnRate: 5},
+			{Name: "availability-fast-burn", Objective: "availability", LongWindows: 3, ShortWindows: 1, BurnRate: 10},
+		},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	build := func(label string, degraded bool) *report.Run {
+		eval := slo.NewEvaluator(spec)
+		var windows []obs.WindowSnapshot
+		for i := int64(0); i < 10; i++ {
+			slow := uint64(2)
+			failed := 0.0
+			hits, misses := 920.0, 80.0
+			if degraded && i >= 3 && i < 6 {
+				slow = 500
+				failed = 40
+				hits, misses = 500, 500
+			}
+			fast := uint64(1000) - slow
+			ws := obs.WindowSnapshot{
+				Index: i, StartNs: float64(i) * 1e7, EndNs: float64(i+1) * 1e7,
+				Counters: []obs.WindowCounter{
+					{Name: "kvstore_cache_hits_total", Delta: hits, Rate: hits * 1e2},
+					{Name: "kvstore_cache_misses_total", Delta: misses, Rate: misses * 1e2},
+					{Name: "kvstore_ops_total", Delta: 1000, Rate: 1e5},
+				},
+				Gauges: []obs.WindowGauge{
+					{Name: "fault_active", Value: failed / 40 * 2},
+					{Name: "tiering_degraded_nodes", Value: failed / 40},
+				},
+				Histograms: []obs.WindowHistogram{{
+					Name: "kvstore_op_latency_ns", Count: 1000,
+					Sum: float64(fast)*8e4 + float64(slow)*5e6,
+					Buckets: []stats.Bucket{
+						{UpperBound: 1e5, Count: fast},
+						{UpperBound: 1e7, Count: slow},
+					},
+					P50: 1e5, P95: 1e5,
+					P99:  1e5 + float64(slow)*1.9e4,
+					P999: 1e7,
+				}},
+			}
+			if failed > 0 {
+				ws.Counters = append(ws.Counters,
+					obs.WindowCounter{Name: "kvstore_failed_ops_total", Delta: failed, Rate: failed * 1e2})
+			}
+			eval.Observe(ws)
+			windows = append(windows, ws)
+		}
+		return &report.Run{
+			Label: label, Config: "1:1", Workload: "YCSB-A",
+			WindowNs: 1e7, Windows: windows, SLO: eval.Evaluation(),
+		}
+	}
+	degraded := build("degraded", true)
+	degraded.Schedule = "examples/degrade-cxl.json"
+	return []*report.Run{build("healthy", false), degraded}
+}
+
+func writeFixture(t *testing.T, path string, r *report.Run) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGolden renders the committed fixture dumps and compares against
+// the committed golden report, byte for byte — the determinism contract
+// `make report-smoke` enforces from the Makefile.
+func TestGolden(t *testing.T) {
+	dir := "testdata"
+	healthy := filepath.Join(dir, "healthy.json")
+	degraded := filepath.Join(dir, "degraded.json")
+	golden := filepath.Join(dir, "golden.html")
+
+	if *update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		runs := fixtureRuns(t)
+		writeFixture(t, healthy, runs[0])
+		writeFixture(t, degraded, runs[1])
+	}
+
+	var runs []*report.Run
+	for _, p := range []string{healthy, degraded} {
+		r, err := report.Load(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs = append(runs, r)
+	}
+	var b bytes.Buffer
+	if err := report.WriteHTML(&b, runs); err != nil {
+		t.Fatal(err)
+	}
+
+	if *update {
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, b.Len())
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Fatalf("rendered report differs from %s (%d vs %d bytes); run `go test ./cmd/cxlreport -run TestGolden -update` if the change is intentional",
+			golden, b.Len(), len(want))
+	}
+}
+
+// The degraded fixture must actually exercise the acceptance shape: an
+// alert firing during the degraded interval and absent when healthy.
+func TestFixtureFiresOnlyWhenDegraded(t *testing.T) {
+	runs := fixtureRuns(t)
+	firing := func(r *report.Run) int {
+		n := 0
+		for _, w := range r.SLO.Windows {
+			for _, a := range w.Alerts {
+				if a.Firing {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	if n := firing(runs[0]); n != 0 {
+		t.Fatalf("healthy fixture fires %d alert windows", n)
+	}
+	if n := firing(runs[1]); n == 0 {
+		t.Fatal("degraded fixture never fires")
+	}
+}

@@ -11,6 +11,7 @@
 //	curl localhost:8080/metrics        # Prometheus text exposition
 //	curl localhost:8080/metrics.json   # legacy JSON metrics
 //	curl localhost:8080/trace.json     # Chrome trace-event JSON (Perfetto)
+//	curl localhost:8080/slo            # windowed SLO evaluation (with -slo)
 //	go tool pprof localhost:8080/debug/pprof/profile   # live CPU profile
 //	go tool pprof localhost:8080/debug/pprof/heap      # live heap profile
 //
@@ -45,6 +46,7 @@ import (
 	"cxlsim/internal/llm"
 	"cxlsim/internal/llmserve"
 	"cxlsim/internal/obs"
+	"cxlsim/internal/slo"
 	"cxlsim/internal/topology"
 )
 
@@ -65,6 +67,8 @@ func main() {
 	policy := flag.String("policy", "MMEM", "placement policy: "+strings.Join(names, ", "))
 	backends := flag.Int("backends", 4, "CPU inference backends (12 threads each)")
 	faults := flag.String("faults", "", "apply this fault schedule (JSON) to the fabric before serving")
+	sloPath := flag.String("slo", "", "evaluate this SLO spec (JSON) over virtual-time windows; serves /slo")
+	windowsMs := flag.Float64("windows", 0, "SLO window length, virtual ms (0 = the spec's window_ms, else 1000)")
 	shedAfterMs := flag.Float64("shed-after-ms", 0, "shed requests (503) when virtual queue wait exceeds this (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	flag.Parse()
@@ -130,6 +134,21 @@ func main() {
 		})
 	}
 	s.SetResilience(rs)
+
+	if *windowsMs < 0 {
+		usageError("-windows cannot be negative")
+	}
+	if *sloPath != "" {
+		spec, err := slo.Load(*sloPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := s.SetSLO(*spec, *windowsMs*1e6); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("cxlserve: SLO %q: %d objective(s), %d alert rule(s) at /slo\n",
+			spec.Name, len(spec.Objectives), len(spec.Alerts))
+	}
 
 	// Publish the solver's per-resource utilization/bandwidth gauges into
 	// the server's registry so /metrics exposes them alongside the serving

@@ -8,14 +8,23 @@
 //	cxlycsb -config 1:1 -spec path/to/workloada -ops 50000
 //	cxlycsb -config Hot-Promote -workload B -trace trace.json  # open in Perfetto
 //	cxlycsb -config 1:1 -workload A -faults examples/degrade-cxl.json
+//	cxlycsb -config 1:1 -workload A -faults examples/degrade-cxl.json \
+//	    -slo examples/slo/kvstore.json -report report.html
 //	cxlycsb -list-configs
 //
 // -faults replays a deterministic fault schedule (docs/RELIABILITY.md)
 // in a second, degraded pass on a fresh deployment and appends [FAULT]
 // delta lines comparing it to the healthy run.
+//
+// -slo evaluates an SLO spec (docs/OBSERVABILITY.md) over fixed
+// virtual-time windows in every pass and prints per-alert firing
+// summaries; -report renders the windowed metrics and SLO evaluations
+// of all passes as a self-contained HTML report, and -dump writes each
+// pass's windowed snapshot as <prefix>-<label>.json for cxlreport.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +33,9 @@ import (
 	"cxlsim/internal/fault"
 	"cxlsim/internal/kvstore"
 	"cxlsim/internal/obs"
+	"cxlsim/internal/report"
+	"cxlsim/internal/sim"
+	"cxlsim/internal/slo"
 	"cxlsim/internal/workload"
 )
 
@@ -31,6 +43,11 @@ func usageError(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "cxlycsb: "+format+"\n", args...)
 	flag.Usage()
 	os.Exit(2)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cxlycsb: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 func main() {
@@ -42,6 +59,10 @@ func main() {
 	trace := flag.String("trace", "", "write a Chrome trace-event JSON file (virtual time; load in Perfetto)")
 	metrics := flag.String("metrics", "", "write a Prometheus text snapshot of the run's metrics")
 	faults := flag.String("faults", "", "replay this fault schedule (JSON) in a degraded second pass")
+	sloPath := flag.String("slo", "", "evaluate this SLO spec (JSON) over virtual-time windows")
+	windowsMs := flag.Float64("windows", 0, "window length, virtual ms (0 = the SLO spec's window_ms, else 10)")
+	reportPath := flag.String("report", "", "write a self-contained HTML report of the windowed run(s)")
+	dump := flag.String("dump", "", "write each pass's windowed snapshot as <prefix>-<label>.json")
 	list := flag.Bool("list-configs", false, "list configurations and exit")
 	flag.Parse()
 
@@ -54,6 +75,9 @@ func main() {
 
 	if *ops < 1 {
 		usageError("-ops must be >= 1")
+	}
+	if *windowsMs < 0 {
+		usageError("-windows cannot be negative")
 	}
 	var wlSet, faultsSet bool
 	flag.Visit(func(f *flag.Flag) {
@@ -74,16 +98,34 @@ func main() {
 	if *faults != "" {
 		s, err := fault.LoadSchedule(*faults)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		schedule = s
 	}
 
+	var sloSpec *slo.Spec
+	if *sloPath != "" {
+		s, err := slo.Load(*sloPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		sloSpec = s
+	}
+	// Any windowed consumer (SLO evaluation, HTML report, JSON dump, or
+	// an explicit -windows) turns on windowed aggregation for every pass.
+	windowed := sloSpec != nil || *reportPath != "" || *dump != "" || *windowsMs > 0
+	windowNs := *windowsMs * 1e6
+	if windowNs == 0 {
+		if sloSpec != nil && sloSpec.WindowMs > 0 {
+			windowNs = sloSpec.WindowMs * 1e6
+		} else {
+			windowNs = 10 * 1e6 // one kvstore epoch
+		}
+	}
+
 	mix, records, err := resolveWorkload(*wl, *spec)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 
 	opts := kvstore.DeployOptions{SimKeys: 1 << 16}
@@ -92,17 +134,17 @@ func main() {
 	}
 	d, err := kvstore.Deploy(kvstore.ConfigName(*config), opts)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
 	d.Warm(mix, 120, 100_000, *seed)
 	rc := d.RunConfigFor(mix, *seed)
 	rc.Ops = *ops
 
-	instrumented := *trace != "" || *metrics != ""
+	instrumented := *trace != "" || *metrics != "" || windowed
+	var ro *runObs
 	if instrumented {
-		rc.Metrics = obs.NewRegistry()
-		rc.Tracer = obs.NewTracer()
+		ro = newRunObs(windowed, windowNs, sloSpec)
+		ro.arm(&rc)
 		obs.InstrumentMemsim(rc.Metrics)
 		defer obs.InstrumentMemsim(nil)
 	}
@@ -110,16 +152,14 @@ func main() {
 
 	if *trace != "" {
 		if err := writeTrace(*trace, rc.Tracer); err != nil {
-			fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "cxlycsb: wrote %s (%d events, tracks: %s)\n",
 			*trace, rc.Tracer.Len(), strings.Join(rc.Tracer.Tracks(), ", "))
 	}
 	if *metrics != "" {
 		if err := writeMetrics(*metrics, rc.Metrics); err != nil {
-			fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "cxlycsb: wrote %s\n", *metrics)
 	}
@@ -137,11 +177,12 @@ func main() {
 		fmt.Printf("[TIERING], MigratedBytes, %d\n", res.Migrated)
 	}
 
+	runs := []*report.Run{ro.runDump("healthy", *config, mix.Name, "")}
+
 	if schedule != nil {
-		fr, err := runDegraded(*config, opts, mix, *seed, *ops, schedule)
+		fr, dro, err := runDegraded(*config, opts, mix, *seed, *ops, schedule, windowed, windowNs, sloSpec)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "cxlycsb: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		fmt.Printf("[FAULT], Schedule, %s\n", *faults)
 		fmt.Printf("[FAULT], Throughput(ops/sec), %.1f (%+.1f%%)\n",
@@ -154,7 +195,113 @@ func main() {
 		fmt.Printf("[FAULT], Timeouts, %d\n", fr.Timeouts)
 		fmt.Printf("[FAULT], Retries, %d\n", fr.Retries)
 		fmt.Printf("[FAULT], FailedOps, %d\n", fr.Failed)
+		runs = append(runs, dro.runDump("degraded", *config, mix.Name, *faults))
 	}
+
+	var live []*report.Run
+	for _, r := range runs {
+		if r != nil {
+			live = append(live, r)
+		}
+	}
+	if sloSpec != nil {
+		for _, r := range live {
+			printSLO(r)
+		}
+	}
+	if *dump != "" {
+		for _, r := range live {
+			path := *dump + "-" + r.Label + ".json"
+			if err := writeRunDump(path, r); err != nil {
+				fatal("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "cxlycsb: wrote %s (%d windows)\n", path, len(r.Windows))
+		}
+	}
+	if *reportPath != "" {
+		if err := writeReport(*reportPath, live); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "cxlycsb: wrote %s (%d run(s))\n", *reportPath, len(live))
+	}
+}
+
+// printSLO appends [SLO] lines: per-objective attainment over all
+// windows and per-alert firing window counts.
+func printSLO(r *report.Run) {
+	if r.SLO == nil {
+		return
+	}
+	met := map[string]int{}
+	firing := map[string]int{}
+	for _, w := range r.SLO.Windows {
+		for _, o := range w.Objectives {
+			if o.Met {
+				met[o.Name]++
+			}
+		}
+		for _, a := range w.Alerts {
+			if a.Firing {
+				firing[a.Name]++
+			}
+		}
+	}
+	n := len(r.SLO.Windows)
+	for _, o := range r.SLO.Spec.Objectives {
+		fmt.Printf("[SLO], %s, %s, WindowsMet, %d/%d\n", r.Label, o.Name, met[o.Name], n)
+	}
+	for _, a := range r.SLO.Spec.Alerts {
+		fmt.Printf("[SLO], %s, alert %s, FiringWindows, %d/%d\n", r.Label, a.Name, firing[a.Name], n)
+	}
+}
+
+// runObs bundles one pass's observability surface: registry, tracer,
+// and (when windowed) the window aggregator plus SLO evaluator.
+type runObs struct {
+	reg  *obs.Registry
+	tr   *obs.Tracer
+	win  *obs.Windows
+	eval *slo.Evaluator
+}
+
+func newRunObs(windowed bool, windowNs float64, spec *slo.Spec) *runObs {
+	ro := &runObs{reg: obs.NewRegistry(), tr: obs.NewTracer()}
+	if windowed {
+		ro.win = obs.NewWindows(ro.reg, sim.Time(windowNs))
+		if spec != nil {
+			ro.eval = slo.NewEvaluator(*spec)
+			ro.eval.Instrument(ro.reg, ro.tr)
+			ro.eval.Bind(ro.win)
+		}
+	}
+	return ro
+}
+
+// arm points a RunConfig at this pass's observability surface.
+func (ro *runObs) arm(rc *kvstore.RunConfig) {
+	rc.Metrics = ro.reg
+	rc.Tracer = ro.tr
+	rc.Windows = ro.win
+}
+
+// runDump assembles the pass into a report.Run, or nil when windowed
+// aggregation was off.
+func (ro *runObs) runDump(label, config, wl, schedule string) *report.Run {
+	if ro == nil || ro.win == nil {
+		return nil
+	}
+	r := &report.Run{
+		Label:    label,
+		Config:   config,
+		Workload: wl,
+		Schedule: schedule,
+		WindowNs: float64(ro.win.Length()),
+		Windows:  ro.win.Snapshot(),
+	}
+	if ro.eval != nil {
+		r.SLO = ro.eval.Evaluation()
+	}
+	return r
 }
 
 // delta is the percent change of degraded vs healthy.
@@ -166,19 +313,58 @@ func delta(degraded, healthy float64) float64 {
 }
 
 // runDegraded replays the fault schedule against a fresh deployment of
-// the same configuration, warmed identically to the healthy pass.
-func runDegraded(config string, opts kvstore.DeployOptions, mix workload.YCSBMix, seed int64, ops int, s *fault.Schedule) (kvstore.Result, error) {
+// the same configuration, warmed identically to the healthy pass, with
+// its own registry/window stack so the two passes never share state.
+func runDegraded(config string, opts kvstore.DeployOptions, mix workload.YCSBMix, seed int64, ops int,
+	s *fault.Schedule, windowed bool, windowNs float64, spec *slo.Spec) (kvstore.Result, *runObs, error) {
 	d, err := kvstore.Deploy(kvstore.ConfigName(config), opts)
 	if err != nil {
-		return kvstore.Result{}, err
+		return kvstore.Result{}, nil, err
 	}
 	d.Warm(mix, 120, 100_000, seed)
 	rc, err := d.RunConfigWithFaults(mix, seed, s)
 	if err != nil {
-		return kvstore.Result{}, err
+		return kvstore.Result{}, nil, err
 	}
 	rc.Ops = ops
-	return kvstore.Run(d.Store, d.Alloc, rc), nil
+	var ro *runObs
+	if windowed {
+		ro = newRunObs(true, windowNs, spec)
+		ro.arm(&rc)
+	}
+	return kvstore.Run(d.Store, d.Alloc, rc), ro, nil
+}
+
+// writeRunDump serializes one pass's windowed snapshot + SLO evaluation
+// as JSON for cxlreport.
+func writeRunDump(path string, r *report.Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeReport renders the passes as a self-contained HTML report.
+func writeReport(path string, runs []*report.Run) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := report.WriteHTML(w, runs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // writeTrace serializes the run's virtual-time trace as Chrome

@@ -12,7 +12,11 @@ import (
 	"cxlsim/internal/llm"
 	"cxlsim/internal/memsim"
 	"cxlsim/internal/mlc"
+	"cxlsim/internal/obs"
 	"cxlsim/internal/par"
+	"cxlsim/internal/report"
+	"cxlsim/internal/sim"
+	"cxlsim/internal/slo"
 	"cxlsim/internal/topology"
 	"cxlsim/internal/vmm"
 	"cxlsim/internal/workload"
@@ -272,7 +276,8 @@ func Fig8(opt Options) (*Report, error) {
 	if opt.Quick {
 		ops = 8_000
 	}
-	run := func(label string, pick func(*topology.Machine) []*topology.Node, faults *fault.Schedule) (*kvstore.Result, error) {
+	windowed := opt.WindowNs > 0
+	run := func(label string, pick func(*topology.Machine) []*topology.Node, faults *fault.Schedule) (*kvstore.Result, *report.Run, error) {
 		m := topology.Testbed()
 		alloc := vmm.NewAllocator(m)
 		st, err := kvstore.NewStore(m, alloc, kvstore.StoreConfig{
@@ -282,21 +287,53 @@ func Fig8(opt Options) (*Report, error) {
 			Policy:          vmm.Bind{Nodes: pick(m)},
 		})
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rc := kvstore.RunConfig{Mix: workload.YCSBC, Ops: ops, Seed: opt.seed()}
 		if faults != nil {
 			inj, err := fault.NewInjector(faults, m)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			rc.Faults = inj
 			pol := faults.ClientPolicy()
 			rc.TimeoutNs, rc.BackoffNs, rc.MaxRetries = pol.TimeoutNs, pol.BackoffNs, pol.MaxRetries
 		}
+		// Windowed cells get a private registry/tracer/window stack so
+		// parallel cells never share metric state; the SLO evaluator (when
+		// configured) rides each cell's window seals.
+		var win *obs.Windows
+		var eval *slo.Evaluator
+		if windowed {
+			reg := obs.NewRegistry()
+			tr := obs.NewTracer()
+			win = obs.NewWindows(reg, sim.Time(opt.WindowNs))
+			if opt.SLO != nil {
+				eval = slo.NewEvaluator(*opt.SLO)
+				eval.Instrument(reg, tr)
+				eval.Bind(win)
+			}
+			rc.Metrics, rc.Tracer, rc.Windows = reg, tr, win
+		}
 		res := kvstore.Run(st, alloc, rc)
 		res.Config = label
-		return &res, nil
+		var rr *report.Run
+		if windowed {
+			rr = &report.Run{
+				Label:    label,
+				Config:   label,
+				Workload: rc.Mix.Name,
+				WindowNs: opt.WindowNs,
+				Windows:  win.Snapshot(),
+			}
+			if faults != nil {
+				rr.Schedule = "degraded"
+			}
+			if eval != nil {
+				rr.SLO = eval.Evaluation()
+			}
+		}
+		return &res, rr, nil
 	}
 	// The two bindings are independent deployments; run them in parallel
 	// (healthy pair first, then the degraded pair when a schedule is set).
@@ -313,18 +350,28 @@ func Fig8(opt Options) (*Report, error) {
 		cells *= 2
 	}
 	runs := make([]*kvstore.Result, cells)
+	winRuns := make([]*report.Run, cells)
 	err := par.ForEachErr(cells, opt.Parallel, func(i int) error {
 		var faults *fault.Schedule
+		label := bindings[i%len(bindings)].label
 		if i >= len(bindings) {
 			faults = opt.Faults
+			label += "-degraded"
 		}
 		b := bindings[i%len(bindings)]
-		r, err := run(b.label, b.pick, faults)
-		runs[i] = r
+		r, rr, err := run(label, b.pick, faults)
+		runs[i], winRuns[i] = r, rr
 		return err
 	})
 	if err != nil {
 		return nil, err
+	}
+	if windowed {
+		for _, rr := range winRuns {
+			if rr != nil {
+				rep.Runs = append(rep.Runs, rr)
+			}
+		}
 	}
 	mmem, cxl := runs[0], runs[1]
 	for ri, r := range []*kvstore.Result{mmem, cxl} {

@@ -14,6 +14,8 @@ import (
 
 	"cxlsim/internal/fault"
 	"cxlsim/internal/par"
+	"cxlsim/internal/report"
+	"cxlsim/internal/slo"
 )
 
 // Report is one regenerated figure or table.
@@ -23,6 +25,11 @@ type Report struct {
 	Headers []string
 	Rows    [][]string
 	Notes   []string
+	// Runs holds per-cell windowed metric snapshots (and SLO
+	// evaluations) when the experiment ran with Options.WindowNs set;
+	// cmd/cxlbench renders them with -report and cmd/cxlreport consumes
+	// their JSON dumps. Nil for experiments without windowed support.
+	Runs []*report.Run
 }
 
 // AddRow appends a formatted row.
@@ -119,6 +126,16 @@ type Options struct {
 	// per-device serving loop ignore it. With Faults nil the output is
 	// byte-identical to builds without the fault subsystem.
 	Faults *fault.Schedule
+	// WindowNs, when positive, turns on fixed virtual-time windowed
+	// metric aggregation inside the serving experiments that support it
+	// (fig8): each cell runs with its own registry/tracer/window stack
+	// and the Report.Runs slice carries the windowed snapshots. Zero
+	// leaves the table output byte-identical to builds without windows.
+	WindowNs float64
+	// SLO, when non-nil (requires WindowNs > 0), evaluates the spec
+	// against every windowed cell; the per-window results ride along in
+	// Report.Runs[i].SLO.
+	SLO *slo.Spec
 }
 
 func (o Options) seed() int64 {

@@ -1,0 +1,114 @@
+// Determinism contract for the windowed observability layer, tested
+// through the full experiment stack: same-seed runs must produce
+// byte-identical windowed snapshots and SLO evaluations at any
+// parallelism, with and without a fault schedule replaying mid-run.
+package core_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	"cxlsim/internal/core"
+	"cxlsim/internal/fault"
+	"cxlsim/internal/slo"
+)
+
+func windowSchedule() *fault.Schedule {
+	return &fault.Schedule{
+		Faults: []fault.Fault{
+			{At: 2e6, Duration: 30e6, Kind: fault.LinkDegrade, Target: "/cxl0", Severity: 0.7},
+			{At: 5e6, Duration: 10e6, Kind: fault.DeviceStall, Target: "/cxl1", Severity: 0.9},
+			{At: 30e6, Kind: fault.NodeLoss, Target: "/cxl1", Severity: 1},
+		},
+		Client: &fault.Resilience{TimeoutNs: 2e6, BackoffNs: 0.5e6, MaxRetries: 3},
+	}
+}
+
+func windowSpec() *slo.Spec {
+	return &slo.Spec{
+		Name:     "determinism",
+		WindowMs: 10,
+		Objectives: []slo.Objective{
+			{Name: "op-latency", Kind: slo.KindLatency, Metric: "kvstore_op_latency_ns", ThresholdNs: 1e6, Target: 0.99},
+			{Name: "availability", Kind: slo.KindAvailability, Metric: "kvstore_ops_total", BadMetric: "kvstore_failed_ops_total", Target: 0.999},
+		},
+		Alerts: []slo.AlertRule{
+			{Name: "latency-fast-burn", Objective: "op-latency", LongWindows: 3, ShortWindows: 1, BurnRate: 5},
+		},
+	}
+}
+
+// renderWindowedFig8 runs fig8 with windows+SLO (optionally degraded)
+// and serializes every windowed run dump to one byte stream.
+func renderWindowedFig8(t *testing.T, parallel int, faults *fault.Schedule) []byte {
+	t.Helper()
+	rep, err := core.Run("fig8", core.Options{
+		Quick: true, Parallel: parallel, Faults: faults,
+		WindowNs: 10e6, SLO: windowSpec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2
+	if faults != nil {
+		want = 4
+	}
+	if len(rep.Runs) != want {
+		t.Fatalf("fig8 collected %d windowed runs, want %d", len(rep.Runs), want)
+	}
+	var b bytes.Buffer
+	for _, r := range rep.Runs {
+		if len(r.Windows) == 0 {
+			t.Fatalf("run %s sealed no windows", r.Label)
+		}
+		if r.SLO == nil || len(r.SLO.Windows) != len(r.Windows) {
+			t.Fatalf("run %s: SLO evaluated %v windows, sealed %d", r.Label, r.SLO, len(r.Windows))
+		}
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Bytes()
+}
+
+func TestWindowedRunsByteIdenticalAcrossParallelism(t *testing.T) {
+	serial := renderWindowedFig8(t, 1, nil)
+	if again := renderWindowedFig8(t, 1, nil); !bytes.Equal(serial, again) {
+		t.Fatal("two serial windowed runs differ")
+	}
+	if wide := renderWindowedFig8(t, runtime.GOMAXPROCS(0), nil); !bytes.Equal(serial, wide) {
+		t.Fatal("parallel windowed run differs from serial")
+	}
+}
+
+func TestWindowedRunsByteIdenticalUnderFaults(t *testing.T) {
+	serial := renderWindowedFig8(t, 1, windowSchedule())
+	if again := renderWindowedFig8(t, 1, windowSchedule()); !bytes.Equal(serial, again) {
+		t.Fatal("two serial degraded windowed runs differ")
+	}
+	if wide := renderWindowedFig8(t, runtime.GOMAXPROCS(0), windowSchedule()); !bytes.Equal(serial, wide) {
+		t.Fatal("parallel degraded windowed run differs from serial")
+	}
+}
+
+// The windowed table must not drift from the un-windowed one: turning
+// observability on cannot change the simulation.
+func TestWindowsDoNotPerturbTables(t *testing.T) {
+	render := func(windowNs float64) string {
+		opt := core.Options{Quick: true, Parallel: 1, WindowNs: windowNs}
+		if windowNs > 0 {
+			opt.SLO = windowSpec()
+		}
+		rep, err := core.Run("fig8", opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb bytes.Buffer
+		rep.WriteTable(&sb)
+		return sb.String()
+	}
+	if plain, windowed := render(0), render(10e6); plain != windowed {
+		t.Fatalf("windowed fig8 table differs from plain:\n%s\nvs\n%s", plain, windowed)
+	}
+}

@@ -40,6 +40,7 @@ type Injector struct {
 	injected *obs.CounterVec
 	cleared  *obs.CounterVec
 	activeG  *obs.Gauge
+	tracer   *obs.Tracer
 }
 
 // NewInjector materializes the schedule against the machine. Every fault
@@ -117,6 +118,11 @@ func (inj *Injector) Instrument(reg *obs.Registry) {
 	inj.activeG = reg.Gauge(obs.MetricFaultActive, "Currently active faults.")
 }
 
+// SetTracer records every fault transition as an instant on the "fault"
+// trace track, so alert firings and latency spikes line up with their
+// cause in the same timeline. Set before Install/ApplyAll.
+func (inj *Injector) SetTracer(tr *obs.Tracer) { inj.tracer = tr }
+
 // Install schedules every fault transition on the engine: activation at
 // Fault.At, clearing at Fault.At+Duration (faults with zero Duration
 // never clear). Times already in the engine's past activate immediately.
@@ -172,6 +178,8 @@ func (inj *Injector) applyFault(i int, now sim.Time) {
 	if inj.injected != nil {
 		inj.injected.With(string(inj.faults[i].Kind)).Inc()
 	}
+	inj.tracer.Instant("fault", string(inj.faults[i].Kind)+" "+inj.faults[i].Target+" injected", now,
+		map[string]any{"severity": inj.faults[i].Severity})
 	inj.setActiveGauge()
 	inj.fireChange(now)
 }
@@ -189,6 +197,7 @@ func (inj *Injector) clearFault(i int, now sim.Time) {
 	if inj.cleared != nil {
 		inj.cleared.With(string(inj.faults[i].Kind)).Inc()
 	}
+	inj.tracer.Instant("fault", string(inj.faults[i].Kind)+" "+inj.faults[i].Target+" cleared", now, nil)
 	inj.setActiveGauge()
 	inj.fireChange(now)
 }

@@ -54,6 +54,11 @@ type RunConfig struct {
 	// per measured op, tiering daemon tick spans, epoch utilization
 	// counters, and sampled sim queue depth.
 	Tracer *obs.Tracer
+	// Windows, when non-nil, must wrap Metrics: the run flushes it on
+	// every co-simulation epoch boundary and closes it at end of run, so
+	// each window carries per-epoch rates, tail quantiles, hit ratio,
+	// and degraded-node count. Requires Metrics.
+	Windows *obs.Windows
 
 	// Faults, when non-nil, installs the injector's schedule on the
 	// run's engine: device parameters change mid-run, the store re-solves
@@ -169,6 +174,26 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 		// returned measurements are one source of truth.
 		res.Latency = latH.Unwrap()
 		res.ReadLatency = readH.Unwrap()
+		if rc.Tracer != nil {
+			// Tail observations capture their span ids, and the tracer's
+			// drop count surfaces as an obs_* self-metric.
+			latH.EnableExemplars(0.99)
+			readH.EnableExemplars(0.99)
+			rc.Metrics.TrackTracer(rc.Tracer)
+		}
+	}
+	// Windowed tiering health: per-epoch cache hit/miss deltas and the
+	// degraded-node count, sampled on the epoch ticker below.
+	var (
+		hitsC, missC         *obs.Counter
+		degG                 *obs.Gauge
+		prevHits, prevMisses uint64
+	)
+	if rc.Metrics != nil {
+		hitsC = rc.Metrics.Counter("kvstore_cache_hits_total", "in-memory cache hits, accumulated per epoch")
+		missC = rc.Metrics.Counter("kvstore_cache_misses_total", "in-memory cache misses, accumulated per epoch")
+		degG = rc.Metrics.Gauge(obs.MetricTierDegradedNodes, "tier nodes currently degraded by active faults")
+		prevHits, prevMisses = store.CacheCounts()
 	}
 	daemon := rc.Daemon
 	if instrumented && daemon != nil {
@@ -183,6 +208,9 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 		rc.Faults.OnChange(func(sim.Time) { store.Resolve() })
 		if rc.Metrics != nil {
 			rc.Faults.Instrument(rc.Metrics)
+		}
+		if rc.Tracer != nil {
+			rc.Faults.SetTracer(rc.Tracer)
 		}
 		if hs, ok := daemon.(tiering.HealthSetter); ok {
 			hs.SetHealth(rc.Faults)
@@ -233,6 +261,16 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 			util, peaks := store.EpochUtilization()
 			obs.RecordUtilization(rc.Metrics, rc.Tracer, now, util, peaks)
 		}
+		if rc.Metrics != nil {
+			hits, misses := store.CacheCounts()
+			hitsC.Add(float64(hits - prevHits))
+			missC.Add(float64(misses - prevMisses))
+			prevHits, prevMisses = hits, misses
+			degG.Set(float64(rc.Tiers.DegradedCount()))
+		}
+		// Seal windows last so the epoch's own metrics land in the
+		// window ending here.
+		rc.Windows.Flush(now)
 	})
 
 	for i := 0; i < rc.ClientThreads; i++ {
@@ -244,6 +282,7 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 	}
 	ticker.Stop()
 	end := eng.Now()
+	rc.Windows.Close(end)
 
 	elapsed := float64(end - rl.measureStart)
 	if elapsed > 0 && rl.measuredOps > 0 {
@@ -325,19 +364,21 @@ func (rl *runLoop) HandleEvent(now sim.Time, arg uint64) {
 	if rl.completed > rc.WarmupOps {
 		rl.measuredOps++
 		l := float64(now-p.issue) + rc.NetworkRTTNs
+		kind := p.op.Kind.String()
+		spanID := rc.Tracer.SpanWithID("kvstore", kind, p.issue, now, nil)
+		ex := obs.Exemplar{AtNs: float64(now), SpanID: spanID, Track: "kvstore", Span: kind}
 		if rl.latH != nil {
-			rl.latH.Observe(l)
+			rl.latH.ObserveExemplar(l, ex)
 		} else {
 			rl.res.Latency.Add(l)
 		}
 		if p.op.Kind == workload.OpRead {
 			if rl.readH != nil {
-				rl.readH.Observe(l)
+				rl.readH.ObserveExemplar(l, ex)
 			} else {
 				rl.res.ReadLatency.Add(l)
 			}
 		}
-		rc.Tracer.Span("kvstore", p.op.Kind.String(), p.issue, now, nil)
 	}
 	rl.generate(now)
 	rl.dispatch(now)

@@ -306,6 +306,11 @@ func (s *Store) pathTo(n *topology.Node) *memsim.Path {
 	return p
 }
 
+// CacheCounts reports the cumulative in-memory hits and misses, so
+// epoch-level deltas (per-window hit ratio) can be derived without
+// touching the hot path.
+func (s *Store) CacheCounts() (hits, misses uint64) { return s.hits, s.misses }
+
 // HitRate reports the in-memory hit fraction so far.
 func (s *Store) HitRate() float64 {
 	total := s.hits + s.misses

@@ -27,6 +27,7 @@ import (
 	"cxlsim/internal/llm"
 	"cxlsim/internal/obs"
 	"cxlsim/internal/sim"
+	"cxlsim/internal/slo"
 	"cxlsim/internal/stats"
 )
 
@@ -97,6 +98,11 @@ type Server struct {
 	resilience Resilience
 	health     func() (degraded bool, detail []string)
 
+	// windows and eval are configured by SetSLO before serving starts;
+	// both are internally synchronized.
+	windows *obs.Windows
+	eval    *slo.Evaluator
+
 	next      atomic.Uint64 // round-robin router cursor
 	mu        sync.Mutex
 	served    uint64
@@ -136,7 +142,33 @@ func New(c *llm.Cluster, policy llm.Policy, backends int) *Server {
 		"requests rejected with 504 after exhausting retries over the virtual timeout")
 	s.retryC = reg.Counter("llmserve_retries_total",
 		"attempt reroutes after a virtual timeout")
+	// Tail requests capture exemplar links to their trace spans, and the
+	// tracer's drop count is exposed as an obs_* self-metric.
+	s.reqLatency.EnableExemplars(0.99)
+	reg.TrackTracer(tr)
 	return s
+}
+
+// SetSLO installs an SLO spec evaluated over virtual-time windows of
+// windowNs (0 uses the spec's window_ms, falling back to 1 s). Each
+// request's booking flushes the window view at its virtual end time,
+// and /slo serves the accumulated evaluation. Call before serving
+// starts.
+func (s *Server) SetSLO(spec slo.Spec, windowNs float64) error {
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	if windowNs <= 0 {
+		windowNs = spec.WindowMs * 1e6
+	}
+	if windowNs <= 0 {
+		windowNs = 1e9
+	}
+	s.windows = obs.NewWindows(s.reg, sim.Time(windowNs))
+	s.eval = slo.NewEvaluator(spec)
+	s.eval.Instrument(s.reg, s.tracer)
+	s.eval.Bind(s.windows)
+	return nil
 }
 
 // SetResilience installs the degraded-mode response policy. Call before
@@ -162,6 +194,7 @@ func (s *Server) Tracer() *obs.Tracer { return s.tracer }
 //	GET  /metrics      — Prometheus text exposition
 //	GET  /metrics.json — legacy JSON metrics (the pre-obs payload)
 //	GET  /trace.json   — Chrome trace-event JSON of request spans
+//	GET  /slo          — windowed SLO evaluation (404 until SetSLO)
 //	GET  /debug/...    — pprof and expvar
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -170,6 +203,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("/metrics", obs.PromHandler(s.reg))
 	mux.Handle("/metrics.json", http.HandlerFunc(s.handleMetricsJSON))
 	mux.HandleFunc("/trace.json", s.handleTrace)
+	mux.HandleFunc("/slo", s.handleSLO)
 	obs.RegisterDebug(mux)
 	return mux
 }
@@ -261,15 +295,20 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 
 	s.requestsC.Inc()
 	s.tokensC.Add(float64(req.MaxTokens))
-	s.reqLatency.Observe(virtualNs)
-	s.queueWait.Observe(wait)
-	s.clusterRate.Set(sp.TokensPerSec)
-	s.tracer.Span("llmserve", "generate/"+s.policy.Name,
+	spanID := s.tracer.SpanWithID("llmserve", "generate/"+s.policy.Name,
 		sim.Time(start), sim.Time(end), map[string]any{
 			"backend":       backend,
 			"tokens":        req.MaxTokens,
 			"queue_wait_ns": wait,
 		})
+	s.reqLatency.ObserveExemplar(virtualNs, obs.Exemplar{
+		AtNs: end, SpanID: spanID, Track: "llmserve", Span: "generate/" + s.policy.Name,
+	})
+	s.queueWait.Observe(wait)
+	s.clusterRate.Set(sp.TokensPerSec)
+	// Advance the SLO window view to this request's virtual end; the
+	// monotonic guard absorbs out-of-order bookings across backends.
+	s.windows.Flush(sim.Time(end))
 
 	degraded := false
 	if s.health != nil {
@@ -351,6 +390,24 @@ func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	m.ClusterTokRate = s.cluster.ServingRate(s.policy, s.backends).TokensPerSec
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(m); err != nil {
+		return
+	}
+}
+
+// handleSLO serves the accumulated windowed SLO evaluation.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.eval == nil {
+		http.Error(w, "no SLO configured (start with -slo)", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(s.eval.Evaluation()); err != nil {
 		return
 	}
 }

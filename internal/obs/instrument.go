@@ -23,6 +23,7 @@ const (
 	MetricTierDemotedPages  = "tiering_demoted_pages_total"
 	MetricTierMigratedBytes = "tiering_migrated_bytes_total"
 	MetricTierThreshold     = "tiering_promote_threshold"
+	MetricTierDegradedNodes = "tiering_degraded_nodes"
 
 	MetricFaultInjected = "fault_injected_total"
 	MetricFaultCleared  = "fault_cleared_total"

@@ -34,16 +34,17 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 			case KindHistogram:
 				h := m.Histogram
 				var cum uint64 = h.Underflow
+				ex := m.Exemplars
 				for _, b := range h.Buckets {
 					cum += b.Count
 					le := labelString(f.Labels, m.LabelValues, formatValue(b.UpperBound))
-					if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, le, cum); err != nil {
+					if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.Name, le, cum, takeExemplar(&ex, b.UpperBound)); err != nil {
 						return err
 					}
 				}
 				inf := labelString(f.Labels, m.LabelValues, "+Inf")
 				total := h.Count + h.Underflow
-				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.Name, inf, total); err != nil {
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d%s\n", f.Name, inf, total, takeExemplar(&ex, math.Inf(1))); err != nil {
 					return err
 				}
 				if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.Name, base, formatValue(h.Sum)); err != nil {
@@ -58,6 +59,44 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 	return nil
 }
 
+// takeExemplar pops exemplars from *ex up through bucket bound ub and
+// renders the last of them (the one belonging to this bucket) as an
+// OpenMetrics-style exemplar suffix: ` # {span_id="7",...} value ts`.
+// The slice is sorted by value, so a single forward walk pairs each
+// exemplar with the first bucket whose bound covers it.
+func takeExemplar(ex *[]Exemplar, ub float64) string {
+	var have bool
+	var last Exemplar
+	for len(*ex) > 0 && (*ex)[0].Value <= ub {
+		last, have = (*ex)[0], true
+		*ex = (*ex)[1:]
+	}
+	if !have {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(" # {")
+	fmt.Fprintf(&b, `span_id="%d"`, last.SpanID)
+	if last.Track != "" {
+		b.WriteString(`,track="` + escapeLabelValue(last.Track) + `"`)
+	}
+	if last.Span != "" {
+		b.WriteString(`,span="` + escapeLabelValue(last.Span) + `"`)
+	}
+	// Timestamp is the exemplar's virtual time in seconds.
+	fmt.Fprintf(&b, "} %s %s", formatValue(last.Value), formatValue(last.AtNs/1e9))
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format label-value
+// escapes — backslash, double quote, and line feed, nothing else. Go's
+// %q is NOT equivalent: it also rewrites tabs, carriage returns, and
+// control bytes into escape sequences the exposition format does not
+// define, corrupting such values on the scrape path.
+var labelEscaper = strings.NewReplacer("\\", `\\`, "\"", `\"`, "\n", `\n`)
+
+func escapeLabelValue(s string) string { return labelEscaper.Replace(s) }
+
 // labelString renders {a="x",b="y"} (plus le when non-empty), or "".
 func labelString(names, values []string, le string) string {
 	if len(names) == 0 && le == "" {
@@ -69,15 +108,16 @@ func labelString(names, values []string, le string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		// Go's %q escaping (backslash, quote, \n) covers exactly what
-		// the Prometheus label-value syntax requires.
-		fmt.Fprintf(&b, "%s=%q", n, values[i])
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(values[i]))
+		b.WriteString(`"`)
 	}
 	if le != "" {
 		if len(names) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "le=%q", le)
+		b.WriteString(`le="` + escapeLabelValue(le) + `"`)
 	}
 	b.WriteByte('}')
 	return b.String()

@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"cxlsim/internal/stats"
+)
+
+// The Prometheus text format escapes exactly three characters in label
+// values: backslash, double quote, and newline. Everything else — tab,
+// carriage return, control bytes — passes through raw; %q-style Go
+// escaping would corrupt them.
+func TestPromLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("weird_total", "weird labels", "path")
+	cv.With(`back\slash`).Add(1)
+	cv.With(`quo"te`).Add(2)
+	cv.With("new\nline").Add(3)
+	cv.With("tab\there").Add(4)
+
+	out, err := snapToProm(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`weird_total{path="back\\slash"} 1`,
+		`weird_total{path="quo\"te"} 2`,
+		`weird_total{path="new\nline"} 3`,
+		"weird_total{path=\"tab\there\"} 4", // tab stays raw
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+	// The escaped newline must not split the sample line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "weird_total{") && !strings.Contains(line, "} ") {
+			t.Fatalf("label newline split a sample line: %q", line)
+		}
+	}
+}
+
+func TestPromExemplarExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency", func() *stats.Histogram { return stats.NewHistogram(1, 5, 1) })
+	h.EnableExemplars(0.99)
+	h.ObserveExemplar(50, Exemplar{AtNs: 123, SpanID: 7, Track: "kvstore", Span: "READ"})
+
+	out, err := snapToProm(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "lat_ns_bucket") || !strings.Contains(line, "# {") {
+			continue
+		}
+		found = true
+		for _, want := range []string{`span_id="7"`, `track="kvstore"`, `span="READ"`, "} 50 "} {
+			if !strings.Contains(line, want) {
+				t.Fatalf("exemplar line missing %q: %q", want, line)
+			}
+		}
+		// The exemplar must ride the bucket that contains the value
+		// (decade buckets: 50 lands in the ≤100 bucket).
+		le := line[strings.Index(line, `le="`)+4:]
+		le = le[:strings.IndexByte(le, '"')]
+		ub, err := strconv.ParseFloat(le, 64)
+		if err != nil || ub < 50 || ub > 101 {
+			t.Fatalf("exemplar on the wrong bucket (le=%s): %q", le, line)
+		}
+	}
+	if !found {
+		t.Fatalf("no exemplar in exposition:\n%s", out)
+	}
+}
+
+func TestExemplarThresholdGating(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_ns", "latency", func() *stats.Histogram { return stats.NewHistogram(1, 5, 1) })
+	h.EnableExemplars(0.99)
+	// The threshold starts at zero (capture anything), then re-anchors to
+	// the live p99 on refresh; a below-threshold value afterwards must not
+	// displace the tail exemplar.
+	for i := 0; i < 100; i++ {
+		h.ObserveExemplar(10, Exemplar{AtNs: float64(i), SpanID: uint64(i)})
+	}
+	h.ObserveExemplar(9000, Exemplar{AtNs: 200, SpanID: 200})
+	h.RefreshExemplarThreshold()
+	h.ObserveExemplar(10, Exemplar{AtNs: 300, SpanID: 300})
+
+	exs := h.Exemplars()
+	for _, ex := range exs {
+		if ex.SpanID == 300 {
+			t.Fatalf("below-threshold observation captured after refresh: %+v", exs)
+		}
+	}
+	var tail *Exemplar
+	for i := range exs {
+		if exs[i].Value == 9000 {
+			tail = &exs[i]
+		}
+	}
+	if tail == nil || tail.SpanID != 200 {
+		t.Fatalf("tail exemplar lost: %+v", exs)
+	}
+}
+
+// Satellite: the observability layer reports its own losses — trace
+// drops and discarded negative counter deltas — in every exposition.
+func TestSelfMetricsInExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops_total", "ops")
+	c.Add(5)
+	c.Add(-3) // discarded: counters are monotone
+
+	tr := NewTracer()
+	tr.SetLimit(1)
+	tr.Instant("t", "a", 1, nil)
+	tr.Instant("t", "b", 2, nil) // dropped by the limit
+	r.TrackTracer(tr)
+
+	if tr.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", tr.Dropped())
+	}
+	out, err := snapToProm(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		SelfMetricNegativeDeltas + " 1",
+		SelfMetricTraceDropped + " 1",
+		"ops_total 5", // the bad delta was discarded, not applied
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTrackTracerDeduplicates(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer()
+	tr.SetLimit(1)
+	tr.Instant("t", "a", 1, nil)
+	tr.Instant("t", "b", 2, nil)
+	r.TrackTracer(tr)
+	r.TrackTracer(tr)
+	r.TrackTracer(nil)
+
+	out, err := snapToProm(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, SelfMetricTraceDropped+" 1") {
+		t.Fatalf("double-tracked tracer double-counted drops:\n%s", out)
+	}
+}

@@ -38,12 +38,20 @@ const (
 // Counter is a monotonically increasing value. Safe for concurrent use.
 type Counter struct {
 	bits atomic.Uint64 // float64 bits
+	// disc, when non-nil, counts discarded (negative or NaN) deltas into
+	// the owning registry's obs_counter_negative_deltas_total self-metric,
+	// so silent data loss is visible in every exposition.
+	disc *atomic.Uint64
 }
 
 // Add increases the counter by v (v must be non-negative; negative
-// deltas are ignored to preserve monotonicity).
+// deltas are ignored to preserve monotonicity and counted in the
+// registry's obs_counter_negative_deltas_total self-metric).
 func (c *Counter) Add(v float64) {
 	if v < 0 || math.IsNaN(v) {
+		if c.disc != nil {
+			c.disc.Add(1)
+		}
 		return
 	}
 	for {
@@ -83,11 +91,32 @@ func (g *Gauge) Add(delta float64) {
 // Value reads the current value.
 func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
+// Exemplar links one tail observation back to the trace span that
+// produced it, so a p99 bucket in an exposition is one hop away from the
+// Perfetto span to blame.
+type Exemplar struct {
+	Value  float64 `json:"value"`             // the observed value
+	AtNs   float64 `json:"at_ns"`             // virtual time of the observation
+	SpanID uint64  `json:"span_id,omitempty"` // Tracer.SpanWithID sequence number
+	Track  string  `json:"track,omitempty"`   // trace track holding the span
+	Span   string  `json:"span,omitempty"`    // span name
+}
+
 // Histogram wraps a stats.Histogram with a mutex so concurrent writers
 // (HTTP handlers) and snapshotters coexist under the race detector.
 type Histogram struct {
 	mu   sync.Mutex
 	hist *stats.Histogram
+
+	// Exemplar capture: observations at or above exThreshold remember the
+	// span that produced them, keyed by bucket upper bound (latest wins,
+	// bounded by the bucket count). The threshold starts at zero when
+	// exemplars are enabled — every bucket captures its first exemplar —
+	// and is re-anchored to the live exQuantile at each window flush.
+	exEnabled   bool
+	exQuantile  float64
+	exThreshold float64
+	exemplars   map[float64]Exemplar
 }
 
 // WrapHistogram makes an obs histogram over an existing stats histogram.
@@ -133,6 +162,70 @@ func (h *Histogram) Quantile(q float64) float64 {
 // concurrent writers have stopped.
 func (h *Histogram) Unwrap() *stats.Histogram { return h.hist }
 
+// EnableExemplars turns on exemplar capture for observations at or above
+// quantile q (e.g. 0.99). Capture starts immediately (threshold zero)
+// and tightens to the live quantile on each RefreshExemplarThreshold.
+func (h *Histogram) EnableExemplars(q float64) {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	h.mu.Lock()
+	h.exEnabled = true
+	h.exQuantile = q
+	h.exThreshold = 0
+	if h.exemplars == nil {
+		h.exemplars = map[float64]Exemplar{}
+	}
+	h.mu.Unlock()
+}
+
+// ObserveExemplar records v like Observe and, when exemplar capture is
+// enabled and v clears the current threshold, stores ex (with Value set
+// to v) against v's bucket.
+func (h *Histogram) ObserveExemplar(v float64, ex Exemplar) {
+	h.mu.Lock()
+	h.hist.Add(v)
+	if h.exEnabled && v >= h.exThreshold {
+		ex.Value = v
+		h.exemplars[h.hist.BucketUpperBound(v)] = ex
+	}
+	h.mu.Unlock()
+}
+
+// RefreshExemplarThreshold re-anchors the capture threshold to the
+// configured quantile of everything observed so far. Windows call this
+// on every flush so "tail" tracks the live distribution.
+func (h *Histogram) RefreshExemplarThreshold() {
+	h.mu.Lock()
+	if h.exEnabled {
+		h.exThreshold = h.hist.Quantile(h.exQuantile)
+	}
+	h.mu.Unlock()
+}
+
+// Exemplars returns the captured exemplars ordered by bucket upper
+// bound (ascending), or nil when capture is disabled or empty.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.exemplars) == 0 {
+		return nil
+	}
+	bounds := make([]float64, 0, len(h.exemplars))
+	for b := range h.exemplars {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	out := make([]Exemplar, len(bounds))
+	for i, b := range bounds {
+		out[i] = h.exemplars[b]
+	}
+	return out
+}
+
 // labelSep joins label values into child-map keys; \xff cannot appear in
 // meaningful label values.
 const labelSep = "\xff"
@@ -151,6 +244,7 @@ type family struct {
 	kind       Kind
 	labels     []string
 	newHist    func() *stats.Histogram // histogram families only
+	reg        *Registry               // owning registry, for self-metrics
 
 	mu       sync.Mutex
 	children map[string]*child
@@ -170,6 +264,9 @@ func (f *family) get(values []string) *child {
 		switch f.kind {
 		case KindCounter:
 			c.ctr = &Counter{}
+			if f.reg != nil {
+				c.ctr.disc = &f.reg.negDeltas
+			}
 		case KindGauge:
 			c.gauge = &Gauge{}
 		case KindHistogram:
@@ -192,11 +289,34 @@ func (f *family) get(values []string) *child {
 type Registry struct {
 	mu       sync.Mutex
 	families map[string]*family
+
+	// Self-observability: discarded counter deltas and the drop counts of
+	// any tracked tracers surface as synthetic obs_* families in every
+	// snapshot, so silent data loss is never invisible.
+	negDeltas atomic.Uint64
+	tracers   []*Tracer
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{families: map[string]*family{}}
+}
+
+// TrackTracer registers t's dropped-event count for exposition as the
+// obs_trace_dropped_events_total self-metric. Nil tracers are ignored;
+// tracking the same tracer twice is harmless (counted once).
+func (r *Registry) TrackTracer(t *Tracer) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.tracers {
+		if have == t {
+			return
+		}
+	}
+	r.tracers = append(r.tracers, t)
 }
 
 func (r *Registry) family(name, help string, kind Kind, labels []string, newHist func() *stats.Histogram) *family {
@@ -220,6 +340,7 @@ func (r *Registry) family(name, help string, kind Kind, labels []string, newHist
 		name: name, help: help, kind: kind,
 		labels:   append([]string(nil), labels...),
 		newHist:  newHist,
+		reg:      r,
 		children: map[string]*child{},
 	}
 	r.families[name] = f
@@ -282,6 +403,7 @@ type MetricSnapshot struct {
 	LabelValues []string                 `json:"labels,omitempty"`
 	Value       float64                  `json:"value,omitempty"`     // counters and gauges
 	Histogram   *stats.HistogramSnapshot `json:"histogram,omitempty"` // histograms
+	Exemplars   []Exemplar               `json:"exemplars,omitempty"` // histograms with capture enabled
 }
 
 // FamilySnapshot is one family's state.
@@ -333,13 +455,43 @@ func (r *Registry) Snapshot() Snapshot {
 			case KindHistogram:
 				hs := c.hist.Snapshot()
 				ms.Histogram = &hs
+				ms.Exemplars = c.hist.Exemplars()
 			}
 			fs.Metrics = append(fs.Metrics, ms)
 		}
 		snap.Families = append(snap.Families, fs)
 	}
+
+	r.mu.Lock()
+	var dropped uint64
+	for _, t := range r.tracers {
+		dropped += t.Dropped()
+	}
+	neg := r.negDeltas.Load()
+	r.mu.Unlock()
+	snap.Families = append(snap.Families,
+		FamilySnapshot{
+			Name: SelfMetricNegativeDeltas, Kind: KindCounter,
+			Help:    "counter Add calls discarded for being negative or NaN",
+			Metrics: []MetricSnapshot{{Value: float64(neg)}},
+		},
+		FamilySnapshot{
+			Name: SelfMetricTraceDropped, Kind: KindCounter,
+			Help:    "trace events dropped by tracked tracers' event limits",
+			Metrics: []MetricSnapshot{{Value: float64(dropped)}},
+		})
+	sort.Slice(snap.Families, func(i, j int) bool {
+		return snap.Families[i].Name < snap.Families[j].Name
+	})
 	return snap
 }
+
+// Self-metric family names injected into every Snapshot (and therefore
+// every Prometheus and JSON exposition) by the registry itself.
+const (
+	SelfMetricNegativeDeltas = "obs_counter_negative_deltas_total"
+	SelfMetricTraceDropped   = "obs_trace_dropped_events_total"
+)
 
 // Find returns the family snapshot with the given name, or false.
 func (s Snapshot) Find(name string) (FamilySnapshot, bool) {

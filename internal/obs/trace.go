@@ -26,6 +26,7 @@ type Tracer struct {
 	order   []string       // tracks in first-use order
 	limit   int            // 0 = unlimited
 	dropped uint64
+	spans   uint64 // SpanWithID sequence counter
 }
 
 // traceEvent is one Chrome trace-event record. Field names follow the
@@ -88,6 +89,32 @@ func (t *Tracer) Span(track, name string, start, end sim.Time, args map[string]a
 		start, end = end, start
 	}
 	t.record(traceEvent{Name: name, Cat: track, Ph: "X", Ts: usec(start), Dur: usec(end - start), Args: args}, track)
+}
+
+// SpanWithID records a complete duration event like Span and returns a
+// per-tracer sequence number identifying it, recorded as the span's
+// span_id arg. Exemplars store the same number, so a tail-latency bucket
+// in an exposition resolves to exactly one Perfetto span. The id is
+// assigned (and returned) even if the event limit drops the record, so
+// exemplar links stay stable; a nil tracer returns 0.
+func (t *Tracer) SpanWithID(track, name string, start, end sim.Time, args map[string]any) uint64 {
+	if t == nil {
+		return 0
+	}
+	if end < start {
+		start, end = end, start
+	}
+	t.mu.Lock()
+	t.spans++
+	id := t.spans
+	t.mu.Unlock()
+	if args == nil {
+		args = map[string]any{"span_id": id}
+	} else {
+		args["span_id"] = id
+	}
+	t.record(traceEvent{Name: name, Cat: track, Ph: "X", Ts: usec(start), Dur: usec(end - start), Args: args}, track)
+	return id
 }
 
 // Instant records a point event on the named track.

@@ -1,0 +1,606 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"cxlsim/internal/slo"
+)
+
+// Chart geometry (CSS pixels inside the inline SVGs).
+const (
+	chartW      = 760.0
+	chartH      = 240.0
+	chartLeft   = 64.0
+	chartRight  = 16.0
+	chartTop    = 16.0
+	chartBottom = 34.0
+)
+
+// Categorical series slots (validated order — see docs/OBSERVABILITY.md);
+// CSS custom properties carry the light/dark steps, so the SVG strokes
+// reference the slot, not a hex.
+const maxSeriesSlots = 8
+
+// point is one (virtual time, value) sample.
+type point struct{ x, y float64 }
+
+// series is one polyline in a chart. Slot picks the categorical color;
+// dashed marks a secondary variant of the same entity (e.g. p50 next to
+// p99), so hue still identifies the run.
+type series struct {
+	label  string
+	slot   int
+	dashed bool
+	points []point
+}
+
+// WriteHTML renders the scenario report for the given runs. Output is
+// deterministic: iteration orders are fixed and every number is
+// formatted with the same fixed rules.
+func WriteHTML(w io.Writer, runs []*Run) error {
+	if len(runs) == 0 {
+		return fmt.Errorf("report: no runs to render")
+	}
+	for _, r := range runs {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+	}
+	var b strings.Builder
+	writeHead(&b, runs)
+	writeRunsTable(&b, runs)
+	writeSLOSection(&b, runs)
+	writeAlertTimeline(&b, runs)
+	writeLatencyCharts(&b, runs)
+	writeBurnCharts(&b, runs)
+	writeRateCharts(&b, runs)
+	writeHitRatioChart(&b, runs)
+	writeGaugeCharts(&b, runs)
+	b.WriteString("</main></body></html>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeHead(b *strings.Builder, runs []*Run) {
+	b.WriteString(`<!DOCTYPE html>
+<html lang="en"><head><meta charset="utf-8">
+<meta name="viewport" content="width=device-width,initial-scale=1">
+<title>cxlsim scenario report</title>
+<style>
+:root{
+ color-scheme:light;
+ --page:#f9f9f7; --surface:#fcfcfb;
+ --ink:#0b0b0b; --ink2:#52514e; --muted:#898781;
+ --grid:#e1e0d9; --axis:#c3c2b7; --border:rgba(11,11,11,.10);
+ --s0:#2a78d6; --s1:#eb6834; --s2:#1baf7a; --s3:#eda100;
+ --s4:#e87ba4; --s5:#008300; --s6:#4a3aa7; --s7:#e34948;
+ --critical:#d03b3b; --good:#0ca30c; --warning:#fab219;
+}
+@media (prefers-color-scheme: dark){
+ :root:where(:not([data-theme="light"])){
+  color-scheme:dark;
+  --page:#0d0d0d; --surface:#1a1a19;
+  --ink:#ffffff; --ink2:#c3c2b7; --muted:#898781;
+  --grid:#2c2c2a; --axis:#383835; --border:rgba(255,255,255,.10);
+  --s0:#3987e5; --s1:#d95926; --s2:#199e70; --s3:#c98500;
+  --s4:#d55181; --s5:#008300; --s6:#9085e9; --s7:#e66767;
+ }
+}
+body{margin:0;background:var(--page);color:var(--ink);
+ font:14px/1.45 system-ui,-apple-system,"Segoe UI",sans-serif}
+main{max-width:860px;margin:0 auto;padding:24px 16px 64px}
+h1{font-size:22px;margin:8px 0 2px}
+h2{font-size:16px;margin:32px 0 8px}
+.sub{color:var(--ink2);margin:0 0 16px}
+.card{background:var(--surface);border:1px solid var(--border);
+ border-radius:8px;padding:12px 14px;margin:12px 0}
+table{border-collapse:collapse;width:100%;font-variant-numeric:tabular-nums}
+th{color:var(--ink2);font-weight:600;text-align:left}
+th,td{padding:4px 10px 4px 0;border-bottom:1px solid var(--grid);font-size:13px}
+tr:last-child td{border-bottom:none}
+td.num,th.num{text-align:right}
+.legend{display:flex;flex-wrap:wrap;gap:4px 16px;margin:4px 0 6px;
+ color:var(--ink2);font-size:12px}
+.legend .chip{display:inline-block;width:10px;height:10px;border-radius:3px;
+ margin-right:5px;vertical-align:-1px}
+.legend .chip.dash{height:0;border-top:3px dashed;background:none;
+ width:14px;vertical-align:2px;border-radius:0}
+svg{display:block;max-width:100%}
+svg text{font:11px system-ui,-apple-system,"Segoe UI",sans-serif;
+ fill:var(--muted)}
+.ok{color:var(--good);font-weight:600}
+.viol{color:var(--critical);font-weight:600}
+details{margin-top:6px}summary{color:var(--ink2);font-size:12px;cursor:pointer}
+</style></head><body><main>
+<h1>cxlsim scenario report</h1>
+`)
+	fmt.Fprintf(b, `<p class="sub">%d run(s), window %s of virtual time.</p>`+"\n",
+		len(runs), fmtDur(maxWindowNs(runs)))
+}
+
+func maxWindowNs(runs []*Run) float64 {
+	m := 0.0
+	for _, r := range runs {
+		if r.WindowNs > m {
+			m = r.WindowNs
+		}
+	}
+	return m
+}
+
+func writeRunsTable(b *strings.Builder, runs []*Run) {
+	b.WriteString(`<div class="card"><table><thead><tr><th>run</th><th>config</th><th>workload</th><th>fault schedule</th><th class="num">windows</th><th class="num">virtual end</th></tr></thead><tbody>` + "\n")
+	for _, r := range runs {
+		end := 0.0
+		if n := len(r.Windows); n > 0 {
+			end = r.Windows[n-1].EndNs
+		}
+		sched := r.Schedule
+		if sched == "" {
+			sched = "—"
+		}
+		fmt.Fprintf(b, `<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td><td class="num">%d</td><td class="num">%s</td></tr>`+"\n",
+			esc(r.Label), esc(orDash(r.Config)), esc(orDash(r.Workload)), esc(sched),
+			len(r.Windows), fmtDur(end))
+	}
+	b.WriteString("</tbody></table></div>\n")
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "—"
+	}
+	return s
+}
+
+// writeSLOSection renders attainment per run and objective plus the
+// alert summary.
+func writeSLOSection(b *strings.Builder, runs []*Run) {
+	any := false
+	for _, r := range runs {
+		if r.SLO != nil {
+			any = true
+		}
+	}
+	if !any {
+		return
+	}
+	b.WriteString("<h2>SLO attainment</h2>\n<div class=\"card\"><table><thead><tr><th>run</th><th>objective</th><th class=\"num\">target</th><th class=\"num\">windows met</th><th class=\"num\">attainment</th><th class=\"num\">overall good</th><th class=\"num\">max burn</th></tr></thead><tbody>\n")
+	for _, r := range runs {
+		if r.SLO == nil {
+			continue
+		}
+		for _, o := range r.SLO.Spec.Objectives {
+			var met, n int
+			var good, total, maxBurn float64
+			for _, wr := range r.SLO.Windows {
+				for _, or := range wr.Objectives {
+					if or.Name != o.Name {
+						continue
+					}
+					n++
+					if or.Met {
+						met++
+					}
+					good += or.Good
+					total += or.Total
+					if or.BurnRate > maxBurn {
+						maxBurn = or.BurnRate
+					}
+				}
+			}
+			overall := 1.0
+			if total > 0 {
+				overall = good / total
+			}
+			cls := "ok"
+			if overall < o.Target {
+				cls = "viol"
+			}
+			fmt.Fprintf(b, `<tr><td>%s</td><td>%s</td><td class="num">%s</td><td class="num">%d / %d</td><td class="num">%s</td><td class="num %s">%s</td><td class="num">%s</td></tr>`+"\n",
+				esc(r.Label), esc(o.Name), fmtPct(o.Target), met, n,
+				fmtPct(frac(met, n)), cls, fmtPct(overall), fmtNum(maxBurn))
+		}
+	}
+	b.WriteString("</tbody></table>\n")
+
+	// Alert summary: firing windows per run and rule.
+	b.WriteString("<table style=\"margin-top:10px\"><thead><tr><th>run</th><th>alert</th><th class=\"num\">burn ≥</th><th class=\"num\">firing windows</th><th>firing intervals</th></tr></thead><tbody>\n")
+	for _, r := range runs {
+		if r.SLO == nil {
+			continue
+		}
+		for _, a := range r.SLO.Spec.Alerts {
+			spans := firingSpans(r, a.Name)
+			count := 0
+			var ivals []string
+			for _, sp := range spans {
+				count += sp.n
+				ivals = append(ivals, fmtDur(sp.start)+"–"+fmtDur(sp.end))
+			}
+			iv := "—"
+			if len(ivals) > 0 {
+				iv = strings.Join(ivals, ", ")
+			}
+			fmt.Fprintf(b, `<tr><td>%s</td><td>%s</td><td class="num">%s×</td><td class="num">%d</td><td>%s</td></tr>`+"\n",
+				esc(r.Label), esc(a.Name), fmtNum(a.BurnRate), count, esc(iv))
+		}
+	}
+	b.WriteString("</tbody></table></div>\n")
+}
+
+// firingSpan is a run of consecutive windows with an alert firing.
+type firingSpan struct {
+	start, end float64
+	n          int
+}
+
+func firingSpans(r *Run, alert string) []firingSpan {
+	var spans []firingSpan
+	var open *firingSpan
+	for _, wr := range r.SLO.Windows {
+		firing := false
+		for _, ar := range wr.Alerts {
+			if ar.Name == alert && ar.Firing {
+				firing = true
+			}
+		}
+		if firing {
+			if open == nil {
+				spans = append(spans, firingSpan{start: wr.StartNs})
+				open = &spans[len(spans)-1]
+			}
+			open.end = wr.EndNs
+			open.n++
+		} else {
+			open = nil
+		}
+	}
+	return spans
+}
+
+// writeAlertTimeline draws one row per (run, alert) with firing windows
+// as critical-status bars on the shared virtual-time axis.
+func writeAlertTimeline(b *strings.Builder, runs []*Run) {
+	type row struct {
+		label string
+		spans []firingSpan
+	}
+	var rows []row
+	for _, r := range runs {
+		if r.SLO == nil {
+			continue
+		}
+		for _, a := range r.SLO.Spec.Alerts {
+			rows = append(rows, row{r.Label + " · " + a.Name, firingSpans(r, a.Name)})
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	xMax := maxEndNs(runs)
+	if xMax <= 0 {
+		return
+	}
+	const rowH, labelW = 26.0, 220.0
+	h := chartTop + rowH*float64(len(rows)) + chartBottom
+	b.WriteString("<h2>Alert timeline</h2>\n<div class=\"card\">\n")
+	fmt.Fprintf(b, `<svg viewBox="0 0 %s %s" role="img" aria-label="alert timeline">`+"\n",
+		coord(chartW), coord(h))
+	plotX0, plotX1 := labelW, chartW-chartRight
+	for i, rw := range rows {
+		y := chartTop + rowH*float64(i)
+		fmt.Fprintf(b, `<text x="%s" y="%s" text-anchor="end">%s</text>`+"\n",
+			coord(labelW-10), coord(y+rowH/2+4), esc(rw.label))
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="var(--grid)"/>`+"\n",
+			coord(plotX0), coord(y+rowH/2), coord(plotX1), coord(y+rowH/2))
+		for _, sp := range rw.spans {
+			x0 := plotX0 + (plotX1-plotX0)*sp.start/xMax
+			x1 := plotX0 + (plotX1-plotX0)*sp.end/xMax
+			if x1-x0 < 2 {
+				x1 = x0 + 2
+			}
+			fmt.Fprintf(b, `<rect x="%s" y="%s" width="%s" height="10" rx="2" fill="var(--critical)"><title>%s firing %s–%s</title></rect>`+"\n",
+				coord(x0), coord(y+rowH/2-5), coord(x1-x0), esc(rw.label),
+				fmtDur(sp.start), fmtDur(sp.end))
+		}
+	}
+	writeTimeAxis(b, plotX0, plotX1, chartTop+rowH*float64(len(rows))+8, xMax)
+	b.WriteString("</svg></div>\n")
+}
+
+func maxEndNs(runs []*Run) float64 {
+	m := 0.0
+	for _, r := range runs {
+		if n := len(r.Windows); n > 0 && r.Windows[n-1].EndNs > m {
+			m = r.Windows[n-1].EndNs
+		}
+	}
+	return m
+}
+
+// writeLatencyCharts emits one chart per histogram family present in
+// any run: per-run p99 (solid) and p50 (dashed) over virtual time.
+func writeLatencyCharts(b *strings.Builder, runs []*Run) {
+	fams := histFamilies(runs)
+	if len(fams) == 0 {
+		return
+	}
+	b.WriteString("<h2>Per-window latency percentiles</h2>\n")
+	xMax := maxEndNs(runs)
+	for _, fam := range fams {
+		var ser []series
+		for i, r := range runs {
+			p99 := histSeries(r, fam, func(h hAgg) float64 { return h.p99 })
+			p50 := histSeries(r, fam, func(h hAgg) float64 { return h.p50 })
+			if len(p99) == 0 {
+				continue
+			}
+			slot := i % maxSeriesSlots
+			ser = append(ser,
+				series{label: r.Label + " p99", slot: slot, points: p99},
+				series{label: r.Label + " p50", slot: slot, dashed: true, points: p50})
+		}
+		if len(ser) == 0 {
+			continue
+		}
+		writeLineChart(b, fam, "latency", ser, xMax, true)
+	}
+}
+
+// hAgg is one window's aggregate over all children of one histogram
+// family: quantiles are event-weight merged via the windowed buckets.
+type hAgg struct{ p50, p99 float64 }
+
+func histSeries(r *Run, fam string, pick func(hAgg) float64) []point {
+	var pts []point
+	for _, ws := range r.Windows {
+		var agg *hAgg
+		for _, h := range ws.Histograms {
+			if h.Name != fam {
+				continue
+			}
+			// Most families are unlabeled; for labeled ones take the
+			// event-weighted max across children as the conservative tail.
+			if agg == nil {
+				agg = &hAgg{p50: h.P50, p99: h.P99}
+			} else {
+				agg.p50 = math.Max(agg.p50, h.P50)
+				agg.p99 = math.Max(agg.p99, h.P99)
+			}
+		}
+		if agg == nil {
+			continue
+		}
+		v := pick(*agg)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		pts = append(pts, point{x: ws.EndNs, y: v})
+	}
+	return pts
+}
+
+func histFamilies(runs []*Run) []string {
+	set := map[string]bool{}
+	for _, r := range runs {
+		for _, ws := range r.Windows {
+			for _, h := range ws.Histograms {
+				set[h.Name] = true
+			}
+		}
+	}
+	return sortedKeys(set)
+}
+
+// writeBurnCharts plots per-window burn rate per objective, with a
+// hairline at the lowest alert threshold for that objective.
+func writeBurnCharts(b *strings.Builder, runs []*Run) {
+	objs := map[string]float64{} // objective → lowest alert burn threshold (0 = none)
+	for _, r := range runs {
+		if r.SLO == nil {
+			continue
+		}
+		for _, o := range r.SLO.Spec.Objectives {
+			if _, ok := objs[o.Name]; !ok {
+				objs[o.Name] = 0
+			}
+		}
+		for _, a := range r.SLO.Spec.Alerts {
+			if t, ok := objs[a.Objective]; !ok || t == 0 || a.BurnRate < t {
+				objs[a.Objective] = a.BurnRate
+			}
+		}
+	}
+	if len(objs) == 0 {
+		return
+	}
+	b.WriteString("<h2>Error-budget burn rate</h2>\n")
+	xMax := maxEndNs(runs)
+	for _, name := range sortedKeysF(objs) {
+		var ser []series
+		for i, r := range runs {
+			if r.SLO == nil {
+				continue
+			}
+			var pts []point
+			for _, wr := range r.SLO.Windows {
+				for _, or := range wr.Objectives {
+					if or.Name == name {
+						pts = append(pts, point{x: wr.EndNs, y: or.BurnRate})
+					}
+				}
+			}
+			if len(pts) > 0 {
+				ser = append(ser, series{label: r.Label, slot: i % maxSeriesSlots, points: pts})
+			}
+		}
+		if len(ser) == 0 {
+			continue
+		}
+		writeLineChartWithRule(b, name, "burn", ser, xMax, false, objs[name])
+	}
+}
+
+// Counter families worth a rate chart even when no SLO names them.
+var preferredCounters = []string{
+	"kvstore_failed_ops_total",
+	"kvstore_ops_total",
+	"kvstore_timeouts_total",
+	"tiering_promoted_pages_total",
+}
+
+func writeRateCharts(b *strings.Builder, runs []*Run) {
+	want := map[string]bool{}
+	present := map[string]bool{}
+	for _, r := range runs {
+		for _, ws := range r.Windows {
+			for _, c := range ws.Counters {
+				present[c.Name] = true
+			}
+		}
+		if r.SLO != nil {
+			for _, o := range r.SLO.Spec.Objectives {
+				if o.Kind == slo.KindAvailability {
+					want[o.Metric] = true
+					want[o.BadMetric] = true
+				}
+			}
+		}
+	}
+	for _, n := range preferredCounters {
+		want[n] = true
+	}
+	var fams []string
+	for n := range want {
+		if present[n] {
+			fams = append(fams, n)
+		}
+	}
+	sort.Strings(fams)
+	if len(fams) == 0 {
+		return
+	}
+	b.WriteString("<h2>Per-window rates</h2>\n")
+	xMax := maxEndNs(runs)
+	for _, fam := range fams {
+		var ser []series
+		for i, r := range runs {
+			var pts []point
+			for _, ws := range r.Windows {
+				sum := 0.0
+				found := false
+				for _, c := range ws.Counters {
+					if c.Name == fam {
+						sum += c.Rate
+						found = true
+					}
+				}
+				if found {
+					pts = append(pts, point{x: ws.EndNs, y: sum})
+				}
+			}
+			if len(pts) > 0 {
+				ser = append(ser, series{label: r.Label, slot: i % maxSeriesSlots, points: pts})
+			}
+		}
+		if len(ser) == 0 {
+			continue
+		}
+		writeLineChart(b, fam, "rate", ser, xMax, false)
+	}
+}
+
+// writeHitRatioChart derives per-window cache hit ratio when the
+// kvstore publishes hit/miss counters.
+func writeHitRatioChart(b *strings.Builder, runs []*Run) {
+	const hitsF, missF = "kvstore_cache_hits_total", "kvstore_cache_misses_total"
+	var ser []series
+	xMax := maxEndNs(runs)
+	for i, r := range runs {
+		var pts []point
+		for _, ws := range r.Windows {
+			var hits, miss float64
+			found := false
+			for _, c := range ws.Counters {
+				switch c.Name {
+				case hitsF:
+					hits += c.Delta
+					found = true
+				case missF:
+					miss += c.Delta
+					found = true
+				}
+			}
+			if found && hits+miss > 0 {
+				pts = append(pts, point{x: ws.EndNs, y: hits / (hits + miss)})
+			}
+		}
+		if len(pts) > 0 {
+			ser = append(ser, series{label: r.Label, slot: i % maxSeriesSlots, points: pts})
+		}
+	}
+	if len(ser) == 0 {
+		return
+	}
+	b.WriteString("<h2>Tiering health</h2>\n")
+	writeLineChart(b, "cache hit ratio (per window)", "ratio", ser, xMax, false)
+}
+
+// Gauge families worth a time-series chart.
+var preferredGauges = []string{
+	"fault_active",
+	"tiering_degraded_nodes",
+	"tiering_promote_threshold",
+}
+
+func writeGaugeCharts(b *strings.Builder, runs []*Run) {
+	present := map[string]bool{}
+	for _, r := range runs {
+		for _, ws := range r.Windows {
+			for _, g := range ws.Gauges {
+				present[g.Name] = true
+			}
+		}
+	}
+	var fams []string
+	for _, n := range preferredGauges {
+		if present[n] {
+			fams = append(fams, n)
+		}
+	}
+	if len(fams) == 0 {
+		return
+	}
+	xMax := maxEndNs(runs)
+	for _, fam := range fams {
+		var ser []series
+		for i, r := range runs {
+			var pts []point
+			for _, ws := range r.Windows {
+				sum := 0.0
+				found := false
+				for _, g := range ws.Gauges {
+					if g.Name == fam {
+						sum += g.Value
+						found = true
+					}
+				}
+				if found {
+					pts = append(pts, point{x: ws.EndNs, y: sum})
+				}
+			}
+			if len(pts) > 0 {
+				ser = append(ser, series{label: r.Label, slot: i % maxSeriesSlots, points: pts})
+			}
+		}
+		if len(ser) == 0 {
+			continue
+		}
+		writeLineChart(b, fam, "value", ser, xMax, false)
+	}
+}

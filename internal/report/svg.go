@@ -1,0 +1,236 @@
+package report
+
+import (
+	"fmt"
+	"html"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// writeLineChart renders one card with a titled SVG line chart, a
+// legend (always present for ≥2 series; a single series is named by the
+// title), and a collapsible data table — the non-color channel.
+// isLatency picks nanosecond-aware y units.
+func writeLineChart(b *strings.Builder, title, yKind string, ser []series, xMaxNs float64, isLatency bool) {
+	writeLineChartWithRule(b, title, yKind, ser, xMaxNs, isLatency, 0)
+}
+
+// writeLineChartWithRule additionally draws a horizontal threshold
+// hairline at rule (skipped when rule is 0), used for alert burn-rate
+// thresholds.
+func writeLineChartWithRule(b *strings.Builder, title, yKind string, ser []series, xMaxNs float64, isLatency bool, rule float64) {
+	if len(ser) == 0 || xMaxNs <= 0 {
+		return
+	}
+	yMax := rule
+	for _, s := range ser {
+		for _, p := range s.points {
+			if p.y > yMax {
+				yMax = p.y
+			}
+		}
+	}
+	if yMax <= 0 {
+		yMax = 1
+	}
+	yMax *= 1.05
+	div, unit := yUnit(yKind, yMax, isLatency)
+
+	b.WriteString("<div class=\"card\">\n")
+	fmt.Fprintf(b, "<strong>%s</strong> <span class=\"sub\" style=\"font-size:12px\">(%s)</span>\n", esc(title), esc(unit))
+	if len(ser) > 1 {
+		b.WriteString("<div class=\"legend\">")
+		for _, s := range ser {
+			chip := fmt.Sprintf(`<span class="chip" style="background:var(--s%d)"></span>`, s.slot)
+			if s.dashed {
+				chip = fmt.Sprintf(`<span class="chip dash" style="border-color:var(--s%d)"></span>`, s.slot)
+			}
+			fmt.Fprintf(b, "<span>%s%s</span>", chip, esc(s.label))
+		}
+		b.WriteString("</div>\n")
+	}
+
+	fmt.Fprintf(b, `<svg viewBox="0 0 %s %s" role="img" aria-label="%s">`+"\n",
+		coord(chartW), coord(chartH), esc(title))
+	x0, x1 := chartLeft, chartW-chartRight
+	y0, y1 := chartH-chartBottom, chartTop
+	sx := func(t float64) float64 { return x0 + (x1-x0)*t/xMaxNs }
+	sy := func(v float64) float64 { return y0 - (y0-y1)*v/yMax }
+
+	// Horizontal gridlines with y tick labels.
+	for i := 0; i <= 4; i++ {
+		v := yMax * float64(i) / 4
+		y := sy(v)
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="var(--grid)"/>`+"\n",
+			coord(x0), coord(y), coord(x1), coord(y))
+		fmt.Fprintf(b, `<text x="%s" y="%s" text-anchor="end">%s</text>`+"\n",
+			coord(x0-8), coord(y+4), fmtNum(v/div))
+	}
+	if rule > 0 {
+		fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="var(--critical)" stroke-dasharray="2 4"><title>alert threshold %s</title></line>`+"\n",
+			coord(x0), coord(sy(rule)), coord(x1), coord(sy(rule)), fmtNum(rule/div))
+	}
+	writeTimeAxis(b, x0, x1, y0, xMaxNs)
+
+	for _, s := range ser {
+		if len(s.points) == 0 {
+			continue
+		}
+		var path strings.Builder
+		for i, p := range s.points {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&path, "%s%s %s ", cmd, coord(sx(p.x)), coord(sy(p.y)))
+		}
+		dash := ""
+		if s.dashed {
+			dash = ` stroke-dasharray="5 4"`
+		}
+		fmt.Fprintf(b, `<path d="%s" fill="none" stroke="var(--s%d)" stroke-width="2" stroke-linejoin="round"%s/>`+"\n",
+			strings.TrimRight(path.String(), " "), s.slot, dash)
+		// Invisible-ish hover targets with native tooltips.
+		for _, p := range s.points {
+			fmt.Fprintf(b, `<circle cx="%s" cy="%s" r="6" fill="transparent"><title>%s · t=%s · %s %s</title></circle>`+"\n",
+				coord(sx(p.x)), coord(sy(p.y)), esc(s.label), fmtDur(p.x), fmtNum(p.y/div), esc(unit))
+		}
+	}
+	b.WriteString("</svg>\n")
+	writeDataTable(b, ser, div, unit)
+	b.WriteString("</div>\n")
+}
+
+// writeTimeAxis draws the baseline plus virtual-time tick labels.
+func writeTimeAxis(b *strings.Builder, x0, x1, y float64, xMaxNs float64) {
+	fmt.Fprintf(b, `<line x1="%s" y1="%s" x2="%s" y2="%s" stroke="var(--axis)"/>`+"\n",
+		coord(x0), coord(y), coord(x1), coord(y))
+	for i := 0; i <= 5; i++ {
+		t := xMaxNs * float64(i) / 5
+		x := x0 + (x1-x0)*float64(i)/5
+		fmt.Fprintf(b, `<text x="%s" y="%s" text-anchor="middle">%s</text>`+"\n",
+			coord(x), coord(y+16), fmtDur(t))
+	}
+}
+
+// writeDataTable emits the chart's numbers as a collapsible table, one
+// row per distinct x, one column per series.
+func writeDataTable(b *strings.Builder, ser []series, div float64, unit string) {
+	xsSet := map[float64]bool{}
+	for _, s := range ser {
+		for _, p := range s.points {
+			xsSet[p.x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+	b.WriteString("<details><summary>Data table</summary><table><thead><tr><th>t</th>")
+	for _, s := range ser {
+		fmt.Fprintf(b, `<th class="num">%s (%s)</th>`, esc(s.label), esc(unit))
+	}
+	b.WriteString("</tr></thead><tbody>\n")
+	for _, x := range xs {
+		fmt.Fprintf(b, "<tr><td>%s</td>", fmtDur(x))
+		for _, s := range ser {
+			cell := "—"
+			for _, p := range s.points {
+				if p.x == x {
+					cell = fmtNum(p.y / div)
+				}
+			}
+			fmt.Fprintf(b, `<td class="num">%s</td>`, cell)
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</tbody></table></details>\n")
+}
+
+// yUnit picks the display divisor and unit label for a chart's y axis.
+func yUnit(kind string, yMax float64, isLatency bool) (float64, string) {
+	if isLatency {
+		switch {
+		case yMax >= 1e6:
+			return 1e6, "ms"
+		case yMax >= 1e3:
+			return 1e3, "µs"
+		}
+		return 1, "ns"
+	}
+	switch kind {
+	case "rate":
+		switch {
+		case yMax >= 1e6:
+			return 1e6, "M/s"
+		case yMax >= 1e3:
+			return 1e3, "k/s"
+		}
+		return 1, "/s"
+	case "burn":
+		return 1, "× budget"
+	case "ratio":
+		return 1, "fraction"
+	}
+	return 1, "value"
+}
+
+// coord formats an SVG coordinate with fixed precision so identical
+// inputs render identical markup.
+func coord(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+// fmtNum formats a value with up to 4 significant digits, fixed rules.
+func fmtNum(v float64) string {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return "∞"
+	}
+	s := strconv.FormatFloat(v, 'g', 4, 64)
+	// Normalize exponent forms like 1e+06 for readability.
+	return strings.ReplaceAll(s, "e+0", "e")
+}
+
+// fmtDur renders a virtual-time duration in adaptive units.
+func fmtDur(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmtNum(ns/1e9) + "s"
+	case ns >= 1e6:
+		return fmtNum(ns/1e6) + "ms"
+	case ns >= 1e3:
+		return fmtNum(ns/1e3) + "µs"
+	}
+	return fmtNum(ns) + "ns"
+}
+
+// fmtPct renders a fraction as a percentage.
+func fmtPct(f float64) string { return fmtNum(f*100) + "%" }
+
+func frac(num, den int) float64 {
+	if den == 0 {
+		return 1
+	}
+	return float64(num) / float64(den)
+}
+
+func esc(s string) string { return html.EscapeString(s) }
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedKeysF(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

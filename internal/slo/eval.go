@@ -1,0 +1,194 @@
+package slo
+
+import (
+	"sync"
+
+	"cxlsim/internal/obs"
+	"cxlsim/internal/sim"
+)
+
+// goodTotal is one window's (good, total) contribution to an objective,
+// kept for trailing burn-rate windows.
+type goodTotal struct{ good, total float64 }
+
+// Evaluator consumes sealed windows for one Spec and accumulates
+// per-window objective standings and alert states. Bind it to an
+// obs.Windows (or feed Observe directly) and read Evaluation at the
+// end. Safe for concurrent use; windows must arrive in order, which
+// obs.Windows guarantees.
+type Evaluator struct {
+	spec Spec
+
+	mu      sync.Mutex
+	history map[string][]goodTotal // objective → per-window good/total
+	firing  map[string]bool        // alert → current state
+	results []WindowResult
+
+	// Optional instrumentation: firings as counters/gauges/instants.
+	tracer  *obs.Tracer
+	alertsC *obs.CounterVec
+	firingG *obs.GaugeVec
+	healthG *obs.GaugeVec
+}
+
+// NewEvaluator builds an evaluator for a validated spec.
+func NewEvaluator(spec Spec) *Evaluator {
+	return &Evaluator{
+		spec:    spec,
+		history: map[string][]goodTotal{},
+		firing:  map[string]bool{},
+	}
+}
+
+// Instrument emits alert activity into reg and tr (either may be nil):
+// slo_alert_transitions_total{alert} counts fire/resolve edges,
+// slo_alert_firing{alert} holds the current state,
+// slo_objective_good_fraction{objective} tracks each objective per
+// window, and every transition becomes an instant on the "slo" trace
+// track at the window's end time.
+func (e *Evaluator) Instrument(reg *obs.Registry, tr *obs.Tracer) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.tracer = tr
+	if reg != nil {
+		e.alertsC = reg.CounterVec("slo_alert_transitions_total",
+			"burn-rate alert state transitions (fire and resolve edges)", "alert")
+		e.firingG = reg.GaugeVec("slo_alert_firing",
+			"1 while the burn-rate alert is firing", "alert")
+		e.healthG = reg.GaugeVec("slo_objective_good_fraction",
+			"good fraction of the objective in the last evaluated window", "objective")
+	}
+}
+
+// Bind subscribes the evaluator to w's sealed windows.
+func (e *Evaluator) Bind(w *obs.Windows) { w.OnSeal(func(ws obs.WindowSnapshot) { e.Observe(ws) }) }
+
+// Observe evaluates one sealed window and records the result.
+func (e *Evaluator) Observe(ws obs.WindowSnapshot) WindowResult {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+
+	res := WindowResult{Index: ws.Index, StartNs: ws.StartNs, EndNs: ws.EndNs}
+	for _, o := range e.spec.Objectives {
+		gt := measure(o, ws)
+		e.history[o.Name] = append(e.history[o.Name], gt)
+		or := ObjectiveResult{Name: o.Name, Good: gt.good, Total: gt.total, GoodFraction: 1, Met: true}
+		if gt.total > 0 {
+			or.GoodFraction = gt.good / gt.total
+			or.BurnRate = (1 - or.GoodFraction) / (1 - o.Target)
+			or.Met = or.GoodFraction >= o.Target
+		}
+		if e.healthG != nil {
+			e.healthG.With(o.Name).Set(or.GoodFraction)
+		}
+		res.Objectives = append(res.Objectives, or)
+	}
+	for _, a := range e.spec.Alerts {
+		target := e.objective(a.Objective).Target
+		ar := AlertResult{
+			Name:      a.Name,
+			LongBurn:  e.trailingBurn(a.Objective, a.LongWindows, target),
+			ShortBurn: e.trailingBurn(a.Objective, a.ShortWindows, target),
+		}
+		ar.Firing = ar.LongBurn >= a.BurnRate && ar.ShortBurn >= a.BurnRate
+		if ar.Firing != e.firing[a.Name] {
+			e.firing[a.Name] = ar.Firing
+			state := "resolved"
+			if ar.Firing {
+				state = "firing"
+			}
+			if e.alertsC != nil {
+				e.alertsC.With(a.Name).Inc()
+			}
+			if e.firingG != nil {
+				v := 0.0
+				if ar.Firing {
+					v = 1
+				}
+				e.firingG.With(a.Name).Set(v)
+			}
+			e.tracer.Instant("slo", a.Name+" "+state, sim.Time(ws.EndNs), map[string]any{
+				"long_burn":  ar.LongBurn,
+				"short_burn": ar.ShortBurn,
+				"burn_rate":  a.BurnRate,
+			})
+		}
+		res.Alerts = append(res.Alerts, ar)
+	}
+	e.results = append(e.results, res)
+	return res
+}
+
+// objective finds a spec objective by name; Validate guarantees alert
+// references resolve.
+func (e *Evaluator) objective(name string) Objective {
+	for _, o := range e.spec.Objectives {
+		if o.Name == name {
+			return o
+		}
+	}
+	return Objective{Target: 0.999}
+}
+
+// trailingBurn is the event-weighted burn rate over the last n windows
+// of an objective's history: the bad fraction of all traffic in the
+// range, divided by the objective's error budget. No traffic burns
+// nothing.
+func (e *Evaluator) trailingBurn(objective string, n int, target float64) float64 {
+	h := e.history[objective]
+	if n > len(h) {
+		n = len(h)
+	}
+	var good, total float64
+	for _, gt := range h[len(h)-n:] {
+		good += gt.good
+		total += gt.total
+	}
+	if total == 0 {
+		return 0
+	}
+	return ((total - good) / total) / (1 - target)
+}
+
+// measure extracts an objective's (good, total) from one window.
+func measure(o Objective, ws obs.WindowSnapshot) goodTotal {
+	var gt goodTotal
+	switch o.Kind {
+	case KindLatency:
+		for _, h := range ws.Histograms {
+			if h.Name != o.Metric {
+				continue
+			}
+			// Underflow sits below every bucket — and the histogram base is
+			// far below any sane latency threshold — so it counts good.
+			gt.good += float64(h.Underflow)
+			gt.total += float64(h.Count + h.Underflow)
+			for _, b := range h.Buckets {
+				if b.UpperBound <= o.ThresholdNs {
+					gt.good += float64(b.Count)
+				}
+			}
+		}
+	case KindAvailability:
+		for _, c := range ws.Counters {
+			switch c.Name {
+			case o.Metric:
+				gt.good += c.Delta
+				gt.total += c.Delta
+			case o.BadMetric:
+				gt.total += c.Delta
+			}
+		}
+	}
+	return gt
+}
+
+// Evaluation returns the spec plus every window evaluated so far.
+func (e *Evaluator) Evaluation() *Evaluation {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return &Evaluation{
+		Spec:    e.spec,
+		Windows: append([]WindowResult(nil), e.results...),
+	}
+}

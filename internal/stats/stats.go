@@ -277,6 +277,92 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return snap
 }
 
+// BucketUpperBound returns the exclusive upper edge of the bucket that
+// would receive observation x — the `le` value its count lands under in
+// a Snapshot. Underflow observations report the histogram base; clamped
+// overflow reports +Inf, matching Snapshot's final bucket.
+func (h *Histogram) BucketUpperBound(x float64) float64 {
+	b := h.bucket(x)
+	if b < 0 {
+		return h.base
+	}
+	if b == len(h.counts)-1 {
+		return math.Inf(1)
+	}
+	return h.base * math.Exp(h.lnRatio*float64(b+1))
+}
+
+// Sub returns the interval difference s−prev: the observations recorded
+// between the two snapshots. Both must come from the same histogram with
+// prev taken earlier (counts are monotone); violating that panics rather
+// than returning a silently negative window.
+func (s HistogramSnapshot) Sub(prev HistogramSnapshot) HistogramSnapshot {
+	if s.Count < prev.Count || s.Underflow < prev.Underflow {
+		panic("stats: HistogramSnapshot.Sub with a later prev")
+	}
+	d := HistogramSnapshot{
+		Count:     s.Count - prev.Count,
+		Sum:       s.Sum - prev.Sum,
+		Underflow: s.Underflow - prev.Underflow,
+	}
+	// Merge-walk by upper bound: both lists are ascending, and any bucket
+	// non-empty in prev is non-empty in s.
+	j := 0
+	for _, b := range s.Buckets {
+		var prevCount uint64
+		for j < len(prev.Buckets) && prev.Buckets[j].UpperBound < b.UpperBound {
+			j++
+		}
+		if j < len(prev.Buckets) && prev.Buckets[j].UpperBound == b.UpperBound {
+			prevCount = prev.Buckets[j].Count
+		}
+		if b.Count < prevCount {
+			panic("stats: HistogramSnapshot.Sub with a later prev")
+		}
+		if c := b.Count - prevCount; c > 0 {
+			d.Buckets = append(d.Buckets, Bucket{UpperBound: b.UpperBound, Count: c})
+		}
+	}
+	return d
+}
+
+// Quantile returns the value at quantile q in [0,1] computed from the
+// snapshot's buckets. Because a snapshot carries bucket edges rather than
+// exact observations, the result is the upper bound of the bucket holding
+// the rank (a ≤2.6% overestimate at the default latency geometry);
+// underflow observations rank below every bucket and report 0. With no
+// observations it returns 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := s.Count + s.Underflow
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank <= s.Underflow {
+		return 0
+	}
+	cum := s.Underflow
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			return b.UpperBound
+		}
+	}
+	if n := len(s.Buckets); n > 0 {
+		return s.Buckets[n-1].UpperBound
+	}
+	return 0
+}
+
 // Reset clears all recorded observations.
 func (h *Histogram) Reset() {
 	for i := range h.counts {
