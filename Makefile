@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all build vet test race race-fault check bench bench-build bench-compare bench-baseline bench-compare-smoke report-smoke
+.PHONY: all build vet test race race-fault check bench bench-build bench-compare bench-baseline bench-compare-smoke report-smoke crash-matrix fuzz-smoke
 
 all: build
 
@@ -31,7 +31,21 @@ race-fault:
 # bit-rot in bench code fails the gate cheaply), a smoke of the
 # bench-compare tooling (parses the committed baseline without running
 # any benchmark), and the report determinism smoke.
-check: vet build race-fault race bench-build bench-compare-smoke report-smoke
+check: vet build race-fault race bench-build bench-compare-smoke report-smoke crash-matrix fuzz-smoke
+
+# crash-matrix replays the seeded spill workload, crashing at a bounded
+# stride of write/fsync boundaries (SPILL_CRASH_BOUNDARIES caps the
+# sweep for the gate; unset it for the exhaustive matrix), plus the
+# bit-flip-detection and recovery-determinism checks. Every crash must
+# recover with no acknowledged write lost and none half-visible.
+crash-matrix:
+	SPILL_CRASH_BOUNDARIES=16 $(GO) test -run 'TestCrashMatrix|TestBitFlipQuarantined|TestRecoveryDeterministic' ./internal/spill
+
+# fuzz-smoke runs the record-decode fuzzer briefly: the decoder must
+# never panic on hostile bytes and every record it accepts must
+# re-encode byte-identically.
+fuzz-smoke:
+	$(GO) test -run=NoSuchTest -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/spill
 
 # bench records a benchstat-comparable baseline: 5 repetitions of every
 # benchmark with allocation stats, captured to BENCH_<date>.json. Compare

@@ -40,27 +40,41 @@ func main() {
 		runs = append(runs, r)
 	}
 
-	var w *bufio.Writer
-	if *out == "-" {
-		w = bufio.NewWriter(os.Stdout)
-	} else {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cxlreport:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = bufio.NewWriter(f)
-	}
-	if err := report.WriteHTML(w, runs); err != nil {
-		fmt.Fprintln(os.Stderr, "cxlreport:", err)
-		os.Exit(1)
-	}
-	if err := w.Flush(); err != nil {
+	if err := render(*out, runs); err != nil {
 		fmt.Fprintln(os.Stderr, "cxlreport:", err)
 		os.Exit(1)
 	}
 	if *out != "-" {
 		fmt.Fprintf(os.Stderr, "cxlreport: wrote %s (%d run(s))\n", *out, len(runs))
 	}
+}
+
+// render writes the HTML report to out ("-" for stdout). Flush and
+// Close errors are surfaced, not swallowed: on a full disk the failure
+// often only shows up there, and a partial report must fail the
+// command.
+func render(out string, runs []*report.Run) error {
+	var f *os.File
+	if out == "-" {
+		f = os.Stdout
+	} else {
+		var err error
+		if f, err = os.Create(out); err != nil {
+			return err
+		}
+	}
+	w := bufio.NewWriter(f)
+	err := report.WriteHTML(w, runs)
+	if err == nil {
+		err = w.Flush()
+	}
+	if out != "-" {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		return fmt.Errorf("writing %s: %w", out, err)
+	}
+	return nil
 }

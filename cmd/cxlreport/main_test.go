@@ -92,6 +92,21 @@ func fixtureRuns(t *testing.T) []*report.Run {
 	return []*report.Run{build("healthy", false), degraded}
 }
 
+// TestRenderSurfacesWriteErrors checks render fails loudly instead of
+// leaving a partial report behind: an unwritable path must be an error,
+// and a full device (ENOSPC at flush/close) must be too.
+func TestRenderSurfacesWriteErrors(t *testing.T) {
+	runs := fixtureRuns(t)
+	if err := render(filepath.Join(t.TempDir(), "no", "such", "dir", "r.html"), runs); err == nil {
+		t.Fatal("render into a missing directory should error")
+	}
+	if _, err := os.Stat("/dev/full"); err == nil {
+		if err := render("/dev/full", runs); err == nil {
+			t.Fatal("render to /dev/full should surface ENOSPC")
+		}
+	}
+}
+
 func writeFixture(t *testing.T, path string, r *report.Run) {
 	t.Helper()
 	f, err := os.Create(path)

@@ -47,6 +47,7 @@ import (
 	"cxlsim/internal/llmserve"
 	"cxlsim/internal/obs"
 	"cxlsim/internal/slo"
+	"cxlsim/internal/spill"
 	"cxlsim/internal/topology"
 )
 
@@ -71,6 +72,7 @@ func main() {
 	windowsMs := flag.Float64("windows", 0, "SLO window length, virtual ms (0 = the spec's window_ms, else 1000)")
 	shedAfterMs := flag.Float64("shed-after-ms", 0, "shed requests (503) when virtual queue wait exceeds this (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	spillDir := flag.String("spill-dir", "", "open (recovering if needed) a durable spill tier and expose its I/O and recovery metrics at /metrics")
 	flag.Parse()
 
 	var chosen *llm.Policy
@@ -158,6 +160,26 @@ func main() {
 	defer obs.InstrumentMemsim(nil)
 	rate := cluster.ServingRate(*chosen, *backends)
 
+	// Durable spill tier: recover the directory up front (repairing torn
+	// tails, quarantining corruption) and publish its counters — recovery
+	// duration, records scanned/quarantined, live I/O — into the same
+	// registry /metrics serves.
+	var spillTier *spill.Dir
+	if *spillDir != "" {
+		sd, rep, err := spill.Open(spill.Options{Dir: *spillDir})
+		if err != nil {
+			fatal("spill tier: %v", err)
+		}
+		sd.Instrument(s.Registry())
+		spillTier = sd
+		defer spillTier.Close()
+		state := "clean"
+		if !rep.Clean() {
+			state = "repaired"
+		}
+		fmt.Printf("cxlserve: spill tier %s recovered (%s): %s\n", *spillDir, state, rep)
+	}
+
 	fmt.Printf("cxlserve: policy=%s backends=%d rate=%.0f tok/s listening on %s\n",
 		chosen.Name, *backends, rate.TokensPerSec, *addr)
 	if inj != nil {
@@ -193,6 +215,12 @@ func main() {
 		}
 		if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal("%v", err)
+		}
+		if spillTier != nil {
+			if err := spillTier.Close(); err != nil {
+				fatal("closing spill tier: %v", err)
+			}
+			spillTier = nil
 		}
 		fmt.Fprintln(os.Stderr, "cxlserve: drained, bye")
 	}

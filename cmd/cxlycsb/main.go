@@ -27,7 +27,9 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"cxlsim/internal/fault"
@@ -63,6 +65,7 @@ func main() {
 	windowsMs := flag.Float64("windows", 0, "window length, virtual ms (0 = the SLO spec's window_ms, else 10)")
 	reportPath := flag.String("report", "", "write a self-contained HTML report of the windowed run(s)")
 	dump := flag.String("dump", "", "write each pass's windowed snapshot as <prefix>-<label>.json")
+	spillDir := flag.String("spill-dir", "", "durable on-disk spill tier root (Flash configs only); each pass uses its own subdirectory")
 	list := flag.Bool("list-configs", false, "list configurations and exit")
 	flag.Parse()
 
@@ -132,6 +135,11 @@ func main() {
 	if records > 0 && records < uint64(opts.SimKeys) {
 		opts.SimKeys = int(records)
 	}
+	if *spillDir != "" {
+		// Per-pass subdirectories keep the healthy and degraded logs
+		// (and their recovery reports) independent.
+		opts.SpillDir = filepath.Join(*spillDir, "healthy")
+	}
 	d, err := kvstore.Deploy(kvstore.ConfigName(*config), opts)
 	if err != nil {
 		fatal("%v", err)
@@ -176,11 +184,21 @@ func main() {
 	if res.Migrated > 0 {
 		fmt.Printf("[TIERING], MigratedBytes, %d\n", res.Migrated)
 	}
+	if *spillDir != "" {
+		printSpill(d.Store, "healthy")
+		if err := d.Store.CloseSpill(); err != nil {
+			fatal("closing spill tier: %v", err)
+		}
+	}
 
 	runs := []*report.Run{ro.runDump("healthy", *config, mix.Name, "")}
 
 	if schedule != nil {
-		fr, dro, err := runDegraded(*config, opts, mix, *seed, *ops, schedule, windowed, windowNs, sloSpec)
+		dopts := opts
+		if *spillDir != "" {
+			dopts.SpillDir = filepath.Join(*spillDir, "degraded")
+		}
+		fr, dro, dstore, err := runDegraded(*config, dopts, mix, *seed, *ops, schedule, windowed, windowNs, sloSpec)
 		if err != nil {
 			fatal("%v", err)
 		}
@@ -195,6 +213,12 @@ func main() {
 		fmt.Printf("[FAULT], Timeouts, %d\n", fr.Timeouts)
 		fmt.Printf("[FAULT], Retries, %d\n", fr.Retries)
 		fmt.Printf("[FAULT], FailedOps, %d\n", fr.Failed)
+		if *spillDir != "" {
+			printSpill(dstore, "degraded")
+			if err := dstore.CloseSpill(); err != nil {
+				fatal("closing spill tier: %v", err)
+			}
+		}
 		runs = append(runs, dro.runDump("degraded", *config, mix.Name, *faults))
 	}
 
@@ -316,15 +340,15 @@ func delta(degraded, healthy float64) float64 {
 // the same configuration, warmed identically to the healthy pass, with
 // its own registry/window stack so the two passes never share state.
 func runDegraded(config string, opts kvstore.DeployOptions, mix workload.YCSBMix, seed int64, ops int,
-	s *fault.Schedule, windowed bool, windowNs float64, spec *slo.Spec) (kvstore.Result, *runObs, error) {
+	s *fault.Schedule, windowed bool, windowNs float64, spec *slo.Spec) (kvstore.Result, *runObs, *kvstore.Store, error) {
 	d, err := kvstore.Deploy(kvstore.ConfigName(config), opts)
 	if err != nil {
-		return kvstore.Result{}, nil, err
+		return kvstore.Result{}, nil, nil, err
 	}
 	d.Warm(mix, 120, 100_000, seed)
 	rc, err := d.RunConfigWithFaults(mix, seed, s)
 	if err != nil {
-		return kvstore.Result{}, nil, err
+		return kvstore.Result{}, nil, nil, err
 	}
 	rc.Ops = ops
 	var ro *runObs
@@ -332,66 +356,80 @@ func runDegraded(config string, opts kvstore.DeployOptions, mix workload.YCSBMix
 		ro = newRunObs(true, windowNs, spec)
 		ro.arm(&rc)
 	}
-	return kvstore.Run(d.Store, d.Alloc, rc), ro, nil
+	return kvstore.Run(d.Store, d.Alloc, rc), ro, d.Store, nil
 }
 
-// writeRunDump serializes one pass's windowed snapshot + SLO evaluation
-// as JSON for cxlreport.
-func writeRunDump(path string, r *report.Run) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+// printSpill appends [SPILL] lines for one pass of the durable tier:
+// I/O totals, the recovery report from opening the directory, and —
+// when a brownout was in play — the degraded-mode accounting.
+func printSpill(st *kvstore.Store, label string) {
+	s := st.SpillStats()
+	fmt.Printf("[SPILL], %s, RecordsWritten, %d\n", label, s.RecordsWritten)
+	fmt.Printf("[SPILL], %s, LiveKeys, %d\n", label, s.LiveKeys)
+	fmt.Printf("[SPILL], %s, Segments, %d\n", label, s.Segments)
+	fmt.Printf("[SPILL], %s, Fsyncs, %d\n", label, s.Fsyncs)
+	fmt.Printf("[SPILL], %s, WriteAmplification, %.3f\n", label, s.WriteAmplification())
+	if rep := st.SpillRecovery(); rep != nil {
+		fmt.Printf("[SPILL], %s, RecoveredLiveKeys, %d\n", label, rep.LiveKeys)
+		fmt.Printf("[SPILL], %s, RecoveryClean, %t\n", label, rep.Clean())
 	}
-	if err := r.WriteJSON(f); err != nil {
-		f.Close()
-		return err
+	if cmp := st.WriteAmpComparison(); cmp.LogAdvantage > 0 {
+		fmt.Printf("[SPILL], %s, LSMWriteAmp, %.3f\n", label, cmp.LSM)
+		fmt.Printf("[SPILL], %s, LogVsLSMAdvantage, %.3f\n", label, cmp.LogAdvantage)
 	}
-	return f.Close()
+	shed, catchup, mismatch := st.SpillCounts()
+	if shed+catchup+mismatch > 0 {
+		fmt.Printf("[SPILL], %s, ShedWrites, %d\n", label, shed)
+		fmt.Printf("[SPILL], %s, CatchupWrites, %d\n", label, catchup)
+		fmt.Printf("[SPILL], %s, PendingDirtyKeys, %d\n", label, st.SpillDirty())
+		fmt.Printf("[SPILL], %s, ReadMismatches, %d\n", label, mismatch)
+	}
 }
 
-// writeReport renders the passes as a self-contained HTML report.
-func writeReport(path string, runs []*report.Run) error {
+// writeFile creates path, hands fn a buffered writer, and surfaces
+// every failure — fn's error, the buffer flush, AND the close, which is
+// where deferred write errors (ENOSPC, quota) actually appear on many
+// filesystems — as a single command failure. No dump may silently
+// truncate.
+func writeFile(path string, fn func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	w := bufio.NewWriter(f)
-	if err := report.WriteHTML(w, runs); err != nil {
-		f.Close()
-		return err
+	werr := fn(w)
+	if werr == nil {
+		werr = w.Flush()
 	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return err
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
 	}
-	return f.Close()
+	if werr != nil {
+		return fmt.Errorf("writing %s: %w", path, werr)
+	}
+	return nil
+}
+
+// writeRunDump serializes one pass's windowed snapshot + SLO evaluation
+// as JSON for cxlreport.
+func writeRunDump(path string, r *report.Run) error {
+	return writeFile(path, r.WriteJSON)
+}
+
+// writeReport renders the passes as a self-contained HTML report.
+func writeReport(path string, runs []*report.Run) error {
+	return writeFile(path, func(w io.Writer) error { return report.WriteHTML(w, runs) })
 }
 
 // writeTrace serializes the run's virtual-time trace as Chrome
 // trace-event JSON.
 func writeTrace(path string, tr *obs.Tracer) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return writeFile(path, tr.WriteJSON)
 }
 
 // writeMetrics dumps the registry in Prometheus text format.
 func writeMetrics(path string, reg *obs.Registry) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := obs.WriteProm(f, reg.Snapshot()); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return writeFile(path, func(w io.Writer) error { return obs.WriteProm(w, reg.Snapshot()) })
 }
 
 // resolveWorkload picks the op mix from a spec file or the built-ins.

@@ -14,10 +14,17 @@ import (
 
 // Injector owns a materialized fault list against one machine. It
 // resolves each fault's target substring to concrete resources at build
-// time, snapshots their pristine calibration, and on every transition
-// (fault starts or clears) recomputes each touched resource from that
-// baseline so overlapping faults compose multiplicatively and clear
-// cleanly.
+// time, snapshots each resource's calibration lazily — at the first
+// fault transition touching it — and on every transition (fault starts
+// or clears) recomputes each touched resource from that baseline so
+// overlapping faults compose multiplicatively and clear cleanly.
+//
+// The lazy snapshot is what makes injectors nest: a second injector
+// built over the same machine captures whatever state is in force when
+// its first fault fires, so stacked injectors compose and unwind
+// correctly as long as they clear in LIFO order (the inner injector
+// resets before the outer). Clearing an outer injector while an inner
+// one is active leaves the inner's baseline stale — don't do that.
 //
 // Transitions run inside the owning sim.Engine's event loop (Install) or
 // all at once before serving starts (ApplyAll); the Degraded/ActiveCount
@@ -74,8 +81,11 @@ func NewInjector(s *Schedule, m *topology.Machine) (*Injector, error) {
 		}
 		inj.targets = append(inj.targets, hit)
 		for _, r := range hit {
-			if _, ok := inj.base[r]; !ok {
-				inj.base[r] = r.Snapshot()
+			// The baseline snapshot is deliberately NOT taken here — see
+			// the type comment on nesting. Only the active map is eager,
+			// because Degraded/DegradedResources read it before any
+			// transition happens.
+			if _, ok := inj.active[r]; !ok {
 				inj.active[r] = map[int]bool{}
 			}
 		}
@@ -172,6 +182,9 @@ func (inj *Injector) applyFault(i int, now sim.Time) {
 	inj.liveFaults[i] = true
 	inj.activeCount.Add(1)
 	for _, r := range inj.targets[i] {
+		if _, ok := inj.base[r]; !ok {
+			inj.base[r] = r.Snapshot() // lazy baseline: state in force now
+		}
 		inj.active[r][i] = true
 		inj.recompute(r)
 	}

@@ -1,0 +1,246 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"cxlsim/internal/lsm"
+	"cxlsim/internal/obs"
+	"cxlsim/internal/spill"
+)
+
+// Durable spill mode: when StoreConfig.SpillDir is set (Flash configs
+// only), the KeyDB-FLASH write path writes through to a real on-disk
+// Bitcask-style log (internal/spill) instead of only charging the
+// simulated SSD cost. The log is the durability backing, not the
+// performance model — spill I/O never feeds back into service times, so
+// healthy-run measurements are byte-identical with or without it.
+//
+// Brownout semantics: when the fault schedule degrades the SSD (any
+// active fault on a resource matching "/ssd"), the store falls back to
+// memory-only operation — writes are shed (counted, and their keys
+// remembered as dirty) rather than blocking on a sick device. When the
+// device heals, the dirty set is re-persisted in one deterministic
+// catch-up pass.
+
+const (
+	// spillPayloadCap bounds the on-disk record body so huge simulated
+	// value sizes don't translate into huge real files.
+	spillPayloadCap = 4096
+	// defaultSpillSyncEvery is the group-commit window: records per
+	// fsync on the store's write-through path. The crash matrix runs the
+	// spill tier directly at SyncEvery=1; the store trades a bounded ack
+	// window for not fsyncing every simulated op.
+	defaultSpillSyncEvery = 8
+)
+
+// spillState carries the durable tier and its degraded-mode bookkeeping.
+type spillState struct {
+	dir     *spill.Dir
+	healthy bool
+	dirty   map[uint64]struct{} // keys shed during brownout, pending catch-up
+
+	shed, catchup, mismatch uint64
+
+	keyBuf [8]byte
+	valBuf []byte
+
+	shedC, catchupC, mismatchC *obs.Counter
+}
+
+// openSpill attaches the durable tier to the store, recovering whatever
+// a previous process left in the directory.
+func (s *Store) openSpill() error {
+	sync := s.cfg.SpillSyncEvery
+	if sync == 0 {
+		sync = defaultSpillSyncEvery
+	}
+	d, _, err := spill.Open(spill.Options{Dir: s.cfg.SpillDir, SyncEvery: sync})
+	if err != nil {
+		return fmt.Errorf("kvstore: opening spill tier: %w", err)
+	}
+	payload := int(s.cfg.ValueBytes)
+	if payload > spillPayloadCap {
+		payload = spillPayloadCap
+	}
+	if payload < 16 {
+		payload = 16
+	}
+	sp := &spillState{
+		dir:     d,
+		healthy: true,
+		dirty:   map[uint64]struct{}{},
+		valBuf:  make([]byte, payload),
+	}
+	for i := 8; i < payload; i++ {
+		sp.valBuf[i] = 0xa5
+	}
+	s.spill = sp
+	return nil
+}
+
+// key returns the canonical 8-byte big-endian record key.
+func (sp *spillState) key(k uint64) []byte {
+	binary.BigEndian.PutUint64(sp.keyBuf[:], k)
+	return sp.keyBuf[:]
+}
+
+// payload returns the record body: the key self-identifies in the first
+// 8 bytes so recovery verification can catch cross-linked records.
+func (sp *spillState) payload(k uint64) []byte {
+	binary.BigEndian.PutUint64(sp.valBuf[:8], k)
+	return sp.valBuf
+}
+
+// spillWrite persists one simulated write through the durable tier, or
+// sheds it (remembering the key) when the tier is browned out or the
+// device has failed.
+func (s *Store) spillWrite(key uint64) {
+	sp := s.spill
+	if !sp.healthy {
+		sp.shedWrite(key)
+		return
+	}
+	if err := sp.dir.Put(sp.key(key), sp.payload(key)); err != nil {
+		// A real device failure behaves like an unscheduled brownout:
+		// keep serving from memory, remember the key.
+		sp.shedWrite(key)
+		return
+	}
+	delete(sp.dirty, key)
+}
+
+func (sp *spillState) shedWrite(key uint64) {
+	sp.shed++
+	sp.dirty[key] = struct{}{}
+	if sp.shedC != nil {
+		sp.shedC.Inc()
+	}
+}
+
+// spillVerify cross-checks a simulated read miss against the durable
+// tier: if the record exists on disk its body must self-identify as the
+// requested key. Absent records are fine (the key was never written
+// through); mismatches mean on-disk cross-linking and are counted.
+func (s *Store) spillVerify(key uint64) {
+	sp := s.spill
+	if !sp.healthy {
+		return
+	}
+	v, ok, err := sp.dir.Get(sp.key(key))
+	if err != nil || !ok {
+		return
+	}
+	if len(v) < 8 || binary.BigEndian.Uint64(v) != key {
+		sp.mismatch++
+		if sp.mismatchC != nil {
+			sp.mismatchC.Inc()
+		}
+	}
+}
+
+// HasSpill reports whether the store runs in durable spill mode.
+func (s *Store) HasSpill() bool { return s.spill != nil }
+
+// SetSpillHealthy flips the durable tier between healthy and browned
+// out. Healing triggers the catch-up pass: every key shed during the
+// brownout is re-persisted, in key order so the resulting log is a
+// deterministic function of the shed set.
+func (s *Store) SetSpillHealthy(h bool) {
+	sp := s.spill
+	if sp == nil || sp.healthy == h {
+		return
+	}
+	sp.healthy = h
+	if !h || len(sp.dirty) == 0 {
+		return
+	}
+	keys := make([]uint64, 0, len(sp.dirty))
+	for k := range sp.dirty {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		if err := sp.dir.Put(sp.key(k), sp.payload(k)); err != nil {
+			return // device died mid-catch-up; keys stay dirty
+		}
+		delete(sp.dirty, k)
+		sp.catchup++
+		if sp.catchupC != nil {
+			sp.catchupC.Inc()
+		}
+	}
+	sp.dir.Sync()
+}
+
+// SpillStats exposes the durable tier's I/O counters (zero without one).
+func (s *Store) SpillStats() spill.Stats {
+	if s.spill == nil {
+		return spill.Stats{}
+	}
+	return s.spill.dir.Stats()
+}
+
+// SpillRecovery exposes the recovery report from opening the tier.
+func (s *Store) SpillRecovery() *spill.RecoveryReport {
+	if s.spill == nil {
+		return nil
+	}
+	return s.spill.dir.Recovery()
+}
+
+// SpillCounts reports the degraded-mode accounting: writes shed during
+// brownouts, catch-up re-persists after healing, and read-back records
+// whose body did not self-identify.
+func (s *Store) SpillCounts() (shed, catchup, mismatch uint64) {
+	if s.spill == nil {
+		return 0, 0, 0
+	}
+	return s.spill.shed, s.spill.catchup, s.spill.mismatch
+}
+
+// WriteAmpComparison contrasts the structural LSM engine's write
+// amplification with the durable spill tier's measured one.
+// Zero-valued unless both engines are active (UseLSM plus SpillDir).
+func (s *Store) WriteAmpComparison() lsm.WriteAmpComparison {
+	if s.tree == nil || s.spill == nil {
+		return lsm.WriteAmpComparison{}
+	}
+	return s.tree.Stats().CompareWriteAmp(s.spill.dir.Stats().WriteAmplification())
+}
+
+// SpillDirty reports how many shed keys still await catch-up.
+func (s *Store) SpillDirty() int {
+	if s.spill == nil {
+		return 0
+	}
+	return len(s.spill.dirty)
+}
+
+// InstrumentSpill publishes the durable tier's I/O, recovery, and
+// degraded-mode counters into the registry. No-op without a spill tier
+// or registry.
+func (s *Store) InstrumentSpill(reg *obs.Registry) {
+	sp := s.spill
+	if sp == nil || reg == nil {
+		return
+	}
+	sp.dir.Instrument(reg)
+	sp.shedC = reg.Counter(obs.MetricSpillShedWrites, "writes shed during spill-tier brownouts")
+	sp.catchupC = reg.Counter(obs.MetricSpillCatchupWrites, "shed writes re-persisted after the tier healed")
+	sp.mismatchC = reg.Counter(obs.MetricSpillReadMismatch, "spill read-backs whose body did not self-identify")
+	sp.shedC.Add(float64(sp.shed))
+	sp.catchupC.Add(float64(sp.catchup))
+	sp.mismatchC.Add(float64(sp.mismatch))
+}
+
+// CloseSpill syncs and closes the durable tier (idempotent, nil-safe).
+func (s *Store) CloseSpill() error {
+	if s.spill == nil {
+		return nil
+	}
+	err := s.spill.dir.Close()
+	s.spill = nil
+	return err
+}

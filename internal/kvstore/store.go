@@ -121,6 +121,8 @@ type Store struct {
 
 	tree *lsm.Tree // non-nil when cfg.UseLSM
 
+	spill *spillState // non-nil when cfg.SpillDir is set (durable mode)
+
 	rng *rand.Rand // drives representative-key page sampling
 
 	misses, hits uint64
@@ -143,6 +145,14 @@ type StoreConfig struct {
 	// compaction I/O, bloom-filtered reads, and the block cache then
 	// emerge from tree dynamics.
 	UseLSM bool
+	// SpillDir, when non-empty (requires Flash), backs the spill path
+	// with a real on-disk durable log (internal/spill): writes persist
+	// through it, read misses verify against it, and SSD brownouts from
+	// the fault schedule switch it into shedding mode. See durable.go.
+	SpillDir string
+	// SpillSyncEvery is the durable tier's group-commit window
+	// (records per fsync; 0 ⇒ 8).
+	SpillSyncEvery int
 }
 
 // NewStore allocates the store's heap on the machine under the policy.
@@ -210,6 +220,14 @@ func NewStore(m *topology.Machine, alloc *vmm.Allocator, cfg StoreConfig) (*Stor
 			s.tree.Put(k, int(s.cfg.ValueBytes))
 		}
 		s.tree.DrainIO() // load-phase I/O predates measurement
+	}
+	if cfg.SpillDir != "" {
+		if !cfg.Flash {
+			return nil, fmt.Errorf("kvstore: SpillDir requires a Flash configuration")
+		}
+		if err := s.openSpill(); err != nil {
+			return nil, err
+		}
 	}
 	s.refreshLatencies(nil)
 	return s, nil
@@ -366,6 +384,11 @@ func (s *Store) ServiceTime(op workload.Op, now sim.Time) float64 {
 					s.ssdReadBytes += s.cfg.ValueBytes
 				}
 			}
+			if read && s.spill != nil {
+				// Durable mode: a miss read hits the spill tier; verify
+				// the on-disk record self-identifies as this key.
+				s.spillVerify(key)
+			}
 			// Writes of non-resident keys need no SSD read; both kinds
 			// admit the key afterwards.
 			s.admit(key)
@@ -381,6 +404,12 @@ func (s *Store) ServiceTime(op workload.Op, now sim.Time) float64 {
 				s.ssdWriteBytes += float64(c.WALBytes)
 			} else {
 				s.ssdWriteBytes += s.cfg.ValueBytes
+			}
+			if s.spill != nil {
+				// Durable mode: the write persists through the real
+				// on-disk log (or is shed during a brownout). Spill I/O
+				// backs durability only; it never feeds into t.
+				s.spillWrite(key)
 			}
 		}
 	}

@@ -375,6 +375,28 @@ type Stats struct {
 	TotalSSTBytes uint64
 }
 
+// WriteAmpComparison contrasts the structural LSM engine's write
+// amplification with an append-only log tier's (the durable spill
+// tier's spill.Stats.WriteAmplification). LogAdvantage > 1 means the
+// log wrote fewer physical bytes per user byte than the LSM — the
+// expected shape, since the log defers all reclamation while the LSM
+// pays compaction up front.
+type WriteAmpComparison struct {
+	LSM          float64
+	Log          float64
+	LogAdvantage float64 // LSM / Log; 0 until both sides have writes
+}
+
+// CompareWriteAmp positions this tree's write amplification against a
+// log-structured tier's.
+func (s Stats) CompareWriteAmp(logWriteAmp float64) WriteAmpComparison {
+	c := WriteAmpComparison{LSM: s.WriteAmp, Log: logWriteAmp}
+	if s.WriteAmp > 0 && logWriteAmp > 0 {
+		c.LogAdvantage = s.WriteAmp / logWriteAmp
+	}
+	return c
+}
+
 // Stats computes the current summary.
 func (t *Tree) Stats() Stats {
 	s := Stats{MemtableBytes: t.memBytes, L0Files: len(t.l0)}

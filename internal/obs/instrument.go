@@ -33,6 +33,23 @@ const (
 	MetricKVRetries  = "kvstore_retries_total"
 	MetricKVFailed   = "kvstore_failed_ops_total"
 	MetricKVBackoff  = "kvstore_retry_backoff_ns"
+
+	// Durable spill tier (internal/spill) I/O and recovery.
+	MetricSpillRecordsWritten      = "spill_records_written_total"
+	MetricSpillBytesWritten        = "spill_bytes_written_total"
+	MetricSpillReads               = "spill_reads_total"
+	MetricSpillFsyncs              = "spill_fsyncs_total"
+	MetricSpillLiveKeys            = "spill_live_keys"
+	MetricSpillSegments            = "spill_segments"
+	MetricSpillRecoveryScanned     = "spill_recovery_records_scanned_total"
+	MetricSpillRecoveryQuarantined = "spill_recovery_records_quarantined_total"
+	MetricSpillRecoveryTornBytes   = "spill_recovery_torn_bytes_total"
+	MetricSpillRecoveryNs          = "spill_recovery_duration_ns"
+	// Durable-mode kvstore counters: writes shed during a spill-tier
+	// brownout and the catch-up re-persists when it heals.
+	MetricSpillShedWrites    = "spill_shed_writes_total"
+	MetricSpillCatchupWrites = "spill_catchup_writes_total"
+	MetricSpillReadMismatch  = "spill_read_mismatch_total"
 )
 
 // KernelObserver implements sim.Observer: it counts event lifecycle

@@ -1,0 +1,493 @@
+package spill
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"cxlsim/internal/obs"
+)
+
+// Shim intercepts every physical write and fsync of the tier. It is the
+// durability-fault injection point: internal/fault's DiskInjector
+// satisfies it structurally (spill does not import fault). Write may
+// return a shortened or mutated copy of p — the returned bytes are what
+// actually reach the file — and an error marks the device dead: the Dir
+// persists the returned prefix (the torn write hit the platter), fails
+// the in-flight operation, and refuses all further I/O.
+type Shim interface {
+	Write(name string, off int64, p []byte) ([]byte, error)
+	Sync(name string) error
+}
+
+// Options configures a Dir.
+type Options struct {
+	Dir string
+	// SegmentBytes is the rotation threshold (default 4 MiB).
+	SegmentBytes int64
+	// SyncEvery fsyncs after every N acknowledged appends (default 1:
+	// every Put is durable before it returns). 0 disables automatic
+	// fsync — only rotation and explicit Sync flush, and a crash loses
+	// everything since the last flush boundary.
+	SyncEvery int
+	// Shim, when non-nil, intercepts physical writes and fsyncs.
+	Shim Shim
+}
+
+func (o *Options) fill() {
+	if o.SegmentBytes == 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SyncEvery == 0 {
+		o.SyncEvery = 1
+	}
+	if o.SyncEvery < 0 {
+		o.SyncEvery = 0
+	}
+}
+
+// entry is one keydir slot: where the newest live record for a key sits.
+type entry struct {
+	seg  uint32
+	off  int64
+	size uint32
+	seq  uint64
+}
+
+// Stats counts the tier's I/O since Open.
+type Stats struct {
+	RecordsWritten uint64
+	BytesWritten   uint64
+	UserBytes      uint64 // key+value payload bytes in acknowledged appends
+	Reads          uint64
+	Fsyncs         uint64
+	Rotations      uint64
+	LiveKeys       int
+	Segments       int
+}
+
+// WriteAmplification is physical bytes written per logical user byte —
+// the number to hold against lsm.Stats.WriteAmp when comparing the
+// log-structured hash tier with the structural LSM engine.
+func (s Stats) WriteAmplification() float64 {
+	if s.UserBytes == 0 {
+		return 0
+	}
+	return float64(s.BytesWritten) / float64(s.UserBytes)
+}
+
+// Dir is an open spill tier rooted at one directory. It is not safe for
+// concurrent use; the kvstore drives it from the single-threaded DES
+// loop and real services must wrap it in their own lock.
+type Dir struct {
+	opts Options
+
+	keydir map[string]entry
+	seq    uint64
+
+	// tombs tracks tombstones appended to the active segment (newest per
+	// key), so its hint can carry them — without this, hint-based
+	// recovery would resurrect keys whose delete lives in that segment.
+	tombs map[string]hintEntry
+
+	active   *os.File
+	activeID uint32
+	// activeSize includes torn bytes a failed write left on the tail.
+	activeSize int64
+	unsynced   int
+
+	// sealed read handles, opened on demand.
+	readers map[uint32]*os.File
+
+	failed error // sticky device failure: every later op returns it
+
+	recovery *RecoveryReport
+	stats    Stats
+
+	// obs instrumentation (nil-safe: zero overhead until Instrument).
+	recordsC, bytesC, readsC, fsyncsC *obs.Counter
+	liveG, segsG                      *obs.Gauge
+}
+
+// Open opens (creating if needed) the tier at opts.Dir, recovering
+// existing segments: hint files accelerate sealed segments, torn tails
+// are truncated, corrupt ranges are quarantined, and the keydir is
+// rebuilt deterministically. The returned RecoveryReport describes what
+// recovery found (also available later via Recovery).
+func Open(opts Options) (*Dir, *RecoveryReport, error) {
+	opts.fill()
+	if opts.Dir == "" {
+		return nil, nil, fmt.Errorf("spill: empty directory")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("spill: %w", err)
+	}
+	d := &Dir{
+		opts:    opts,
+		keydir:  map[string]entry{},
+		readers: map[uint32]*os.File{},
+	}
+	rep, err := d.recover()
+	if err != nil {
+		return nil, nil, err
+	}
+	d.recovery = rep
+	d.stats.LiveKeys = len(d.keydir)
+	d.stats.Segments = rep.Segments
+	return d, rep, nil
+}
+
+func segName(id uint32) string  { return fmt.Sprintf("%08d.seg", id) }
+func hintName(id uint32) string { return fmt.Sprintf("%08d.hnt", id) }
+
+func (d *Dir) segPath(id uint32) string  { return filepath.Join(d.opts.Dir, segName(id)) }
+func (d *Dir) hintPath(id uint32) string { return filepath.Join(d.opts.Dir, hintName(id)) }
+
+// segmentIDs lists the segment ids present on disk, sorted ascending.
+func segmentIDs(dir string) ([]uint32, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	var ids []uint32
+	for _, e := range ents {
+		var id uint32
+		if n, _ := fmt.Sscanf(e.Name(), "%08d.seg", &id); n == 1 && e.Name() == segName(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
+}
+
+// Put appends a key/value record; when it returns nil the write is
+// acknowledged (and, with SyncEvery=1, durable).
+func (d *Dir) Put(key, val []byte) error {
+	return d.append(Record{Key: key, Val: val})
+}
+
+// Delete appends a tombstone for key.
+func (d *Dir) Delete(key []byte) error {
+	return d.append(Record{Key: key, Tombstone: true})
+}
+
+func (d *Dir) append(r Record) error {
+	if d.failed != nil {
+		return d.failed
+	}
+	if len(r.Key) == 0 || len(r.Key) > MaxKeyLen || len(r.Val) > MaxValLen {
+		return fmt.Errorf("spill: key/value size out of range (%d/%d)", len(r.Key), len(r.Val))
+	}
+	d.seq++
+	r.Seq = d.seq
+	buf := EncodeRecord(r)
+	off := d.activeSize
+	if err := d.write(d.active, off, buf); err != nil {
+		return err
+	}
+	if r.Tombstone {
+		delete(d.keydir, string(r.Key))
+		d.tombs[string(r.Key)] = hintEntry{key: r.Key, off: off, seq: r.Seq}
+	} else {
+		d.keydir[string(r.Key)] = entry{seg: d.activeID, off: off, size: uint32(len(buf)), seq: r.Seq}
+	}
+	d.stats.RecordsWritten++
+	d.stats.UserBytes += uint64(len(r.Key) + len(r.Val))
+	if d.recordsC != nil {
+		d.recordsC.Inc()
+	}
+	d.stats.LiveKeys = len(d.keydir)
+	d.setGauges()
+	d.unsynced++
+	if d.opts.SyncEvery > 0 && d.unsynced >= d.opts.SyncEvery {
+		if err := d.Sync(); err != nil {
+			return err
+		}
+	}
+	if d.activeSize >= d.opts.SegmentBytes {
+		return d.rotate()
+	}
+	return nil
+}
+
+// write routes one physical write through the shim and the file,
+// advancing activeSize by whatever was persisted (possibly a torn
+// prefix) when f is the active segment.
+func (d *Dir) write(f *os.File, off int64, p []byte) error {
+	buf, serr := p, error(nil)
+	if d.opts.Shim != nil {
+		buf, serr = d.opts.Shim.Write(f.Name(), off, p)
+	}
+	var n int
+	if len(buf) > 0 {
+		var werr error
+		n, werr = f.WriteAt(buf, off)
+		if werr != nil && serr == nil {
+			serr = fmt.Errorf("spill: %s: %w", f.Name(), werr)
+		}
+	}
+	if f == d.active {
+		d.activeSize = off + int64(n)
+	}
+	d.stats.BytesWritten += uint64(n)
+	if d.bytesC != nil {
+		d.bytesC.Add(float64(n))
+	}
+	if serr != nil {
+		d.failed = serr
+		return serr
+	}
+	return nil
+}
+
+// Sync flushes the active segment to stable storage.
+func (d *Dir) Sync() error {
+	if d.failed != nil {
+		return d.failed
+	}
+	if d.opts.Shim != nil {
+		if err := d.opts.Shim.Sync(d.active.Name()); err != nil {
+			d.failed = err
+			return err
+		}
+	}
+	if err := d.active.Sync(); err != nil {
+		d.failed = fmt.Errorf("spill: %s: %w", d.active.Name(), err)
+		return d.failed
+	}
+	d.unsynced = 0
+	d.stats.Fsyncs++
+	if d.fsyncsC != nil {
+		d.fsyncsC.Inc()
+	}
+	return nil
+}
+
+// rotate seals the active segment — fsync, hint file, close — and opens
+// the next one. The hint write goes through the shim too, so the crash
+// matrix covers death mid-hint: recovery then ignores the bad hint and
+// rescans the segment.
+func (d *Dir) rotate() error {
+	if err := d.Sync(); err != nil {
+		return err
+	}
+	sealedID := d.activeID
+	sealed := d.active
+	if err := d.writeHint(sealedID); err != nil {
+		// The segment itself is durable; a hint failure only loses the
+		// fast-recovery path. Device-dead errors stay sticky via write().
+		if d.failed != nil {
+			return d.failed
+		}
+	}
+	// Keep the sealed handle for reads.
+	d.readers[sealedID] = sealed
+	d.tombs = map[string]hintEntry{}
+	d.activeID++
+	f, err := os.OpenFile(d.segPath(d.activeID), os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		d.failed = fmt.Errorf("spill: %w", err)
+		return d.failed
+	}
+	d.active = f
+	d.activeSize = 0
+	d.stats.Rotations++
+	d.stats.Segments++
+	d.setGauges()
+	return nil
+}
+
+// writeHint writes the sealed segment's live keydir entries as a single
+// checksummed hint file: one shim write plus one fsync.
+func (d *Dir) writeHint(id uint32) error {
+	buf := encodeHint(d.hintEntries(id))
+	f, err := os.OpenFile(d.hintPath(id), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("spill: %w", err)
+	}
+	werr := d.write(f, 0, buf)
+	if werr == nil {
+		if d.opts.Shim != nil {
+			if err := d.opts.Shim.Sync(f.Name()); err != nil {
+				d.failed = err
+				werr = err
+			}
+		}
+	}
+	if werr == nil {
+		if err := f.Sync(); err != nil {
+			werr = fmt.Errorf("spill: %w", err)
+		} else {
+			d.stats.Fsyncs++
+			if d.fsyncsC != nil {
+				d.fsyncsC.Inc()
+			}
+		}
+	}
+	if cerr := f.Close(); cerr != nil && werr == nil {
+		werr = fmt.Errorf("spill: %w", cerr)
+	}
+	return werr
+}
+
+// hintEntries collects the live keydir entries pointing into segment id
+// plus the segment's tombstones (size 0 marks a tombstone — real
+// records are never smaller than their header), sorted by offset so the
+// hint (and any recovery from it) is deterministic. Tombstones must be
+// carried: the hint replaces the segment scan, and a scan would have
+// seen the delete.
+func (d *Dir) hintEntries(id uint32) []hintEntry {
+	var hes []hintEntry
+	for k, e := range d.keydir {
+		if e.seg == id {
+			hes = append(hes, hintEntry{key: []byte(k), off: e.off, size: e.size, seq: e.seq})
+		}
+	}
+	for _, he := range d.tombs {
+		hes = append(hes, he)
+	}
+	sort.Slice(hes, func(i, j int) bool { return hes[i].off < hes[j].off })
+	return hes
+}
+
+// Get returns the newest value for key, reading and checksum-verifying
+// the record from disk. ok is false for absent or deleted keys.
+func (d *Dir) Get(key []byte) (val []byte, ok bool, err error) {
+	e, hit := d.keydir[string(key)]
+	if !hit {
+		return nil, false, nil
+	}
+	f, err := d.readerFor(e.seg)
+	if err != nil {
+		return nil, false, err
+	}
+	buf := make([]byte, e.size)
+	if _, err := f.ReadAt(buf, e.off); err != nil {
+		return nil, false, fmt.Errorf("spill: %s@%d: %w", segName(e.seg), e.off, err)
+	}
+	r, _, err := DecodeRecord(buf)
+	if err != nil {
+		return nil, false, fmt.Errorf("spill: %s@%d: %w", segName(e.seg), e.off, err)
+	}
+	d.stats.Reads++
+	if d.readsC != nil {
+		d.readsC.Inc()
+	}
+	out := make([]byte, len(r.Val))
+	copy(out, r.Val)
+	return out, true, nil
+}
+
+// Has reports whether key is live, without touching disk.
+func (d *Dir) Has(key []byte) bool {
+	_, ok := d.keydir[string(key)]
+	return ok
+}
+
+func (d *Dir) readerFor(id uint32) (*os.File, error) {
+	if id == d.activeID {
+		return d.active, nil
+	}
+	if f, ok := d.readers[id]; ok {
+		return f, nil
+	}
+	f, err := os.Open(d.segPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("spill: %w", err)
+	}
+	d.readers[id] = f
+	return f, nil
+}
+
+// SetSyncEvery adjusts the automatic fsync cadence (0 disables; bulk
+// loaders batch with 0 and finish with one explicit Sync).
+func (d *Dir) SetSyncEvery(n int) { d.opts.SyncEvery = n }
+
+// Seq returns the newest assigned log sequence number.
+func (d *Dir) Seq() uint64 { return d.seq }
+
+// Stats returns a snapshot of the tier's counters.
+func (d *Dir) Stats() Stats {
+	s := d.stats
+	s.LiveKeys = len(d.keydir)
+	return s
+}
+
+// Recovery returns the report from Open's recovery pass.
+func (d *Dir) Recovery() *RecoveryReport { return d.recovery }
+
+// Close syncs (best effort once failed) and closes every handle.
+func (d *Dir) Close() error {
+	var first error
+	if d.failed == nil && d.active != nil {
+		first = d.Sync()
+	}
+	if d.active != nil {
+		if err := d.active.Close(); err != nil && first == nil {
+			first = err
+		}
+		d.active = nil
+	}
+	for id, f := range d.readers {
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(d.readers, id)
+	}
+	return first
+}
+
+// KeydirDump renders the keydir canonically — keys in lexicographic
+// order, one line per live key — so recovered states can be compared
+// byte-for-byte across runs and parallelism settings.
+func (d *Dir) KeydirDump() []byte {
+	keys := make([]string, 0, len(d.keydir))
+	for k := range d.keydir {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b []byte
+	for _, k := range keys {
+		e := d.keydir[k]
+		b = fmt.Appendf(b, "%x seq=%d seg=%d off=%d size=%d\n", k, e.seq, e.seg, e.off, e.size)
+	}
+	return b
+}
+
+// Instrument publishes the tier's counters and the recovery report into
+// the registry. Call once, right after Open.
+func (d *Dir) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	d.recordsC = reg.Counter(obs.MetricSpillRecordsWritten, "records appended to the spill log")
+	d.bytesC = reg.Counter(obs.MetricSpillBytesWritten, "bytes physically written to the spill log")
+	d.readsC = reg.Counter(obs.MetricSpillReads, "records read back from the spill log")
+	d.fsyncsC = reg.Counter(obs.MetricSpillFsyncs, "spill log fsyncs")
+	d.liveG = reg.Gauge(obs.MetricSpillLiveKeys, "live keys in the spill keydir")
+	d.segsG = reg.Gauge(obs.MetricSpillSegments, "spill log segments on disk")
+	// Backfill pre-instrumentation activity (bulk seeding, recovery).
+	d.recordsC.Add(float64(d.stats.RecordsWritten))
+	d.bytesC.Add(float64(d.stats.BytesWritten))
+	d.readsC.Add(float64(d.stats.Reads))
+	d.fsyncsC.Add(float64(d.stats.Fsyncs))
+	d.setGauges()
+	if rep := d.recovery; rep != nil {
+		reg.Counter(obs.MetricSpillRecoveryScanned, "records scanned during spill recovery").
+			Add(float64(rep.RecordsScanned))
+		reg.Counter(obs.MetricSpillRecoveryQuarantined, "corrupt records quarantined during spill recovery").
+			Add(float64(rep.QuarantinedRecords))
+		reg.Counter(obs.MetricSpillRecoveryTornBytes, "torn tail bytes truncated during spill recovery").
+			Add(float64(rep.TornBytesTruncated))
+		reg.Gauge(obs.MetricSpillRecoveryNs, "wall-clock duration of the last spill recovery, ns").
+			Set(float64(rep.DurationNs))
+	}
+}
+
+func (d *Dir) setGauges() {
+	if d.liveG != nil {
+		d.liveG.Set(float64(len(d.keydir)))
+		d.segsG.Set(float64(d.stats.Segments))
+	}
+}
