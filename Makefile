@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all build vet test race race-fault check bench bench-build bench-compare bench-baseline bench-compare-smoke report-smoke crash-matrix fuzz-smoke
+.PHONY: all build vet test race race-fault race-shard check bench bench-build bench-compare bench-baseline bench-compare-smoke report-smoke crash-matrix fuzz-smoke
 
 all: build
 
@@ -25,13 +25,21 @@ race:
 race-fault:
 	$(GO) test -race ./internal/fault ./internal/kvstore ./internal/tiering
 
-# check is the gate: vet, build, the reliability-path race subset (fails
-# fast), the full test suite under the race detector, a build-only smoke
-# of the benchmarks (compiles every benchmark without running it, so
-# bit-rot in bench code fails the gate cheaply), a smoke of the
-# bench-compare tooling (parses the committed baseline without running
-# any benchmark), and the report determinism smoke.
-check: vet build race-fault race bench-build bench-compare-smoke report-smoke crash-matrix fuzz-smoke
+# race-shard is the focused race gate over the parallel simulation
+# kernel: the sharded engine's epoch fan-out and the byte-identical
+# determinism contracts in kvstore clusters and the LLM fleet. These
+# are the only tests that run simulation goroutines concurrently.
+race-shard:
+	$(GO) test -race -run 'TestSharded|TestClusterByteIdentical|TestFleetByteIdentical' \
+		./internal/sim ./internal/kvstore ./internal/llm
+
+# check is the gate: vet, build, the reliability-path and sharded-kernel
+# race subsets (fail fast), the full test suite under the race detector,
+# a build-only smoke of the benchmarks (compiles every benchmark without
+# running it, so bit-rot in bench code fails the gate cheaply), a smoke
+# of the bench-compare tooling (parses the committed baseline without
+# running any benchmark), and the report determinism smoke.
+check: vet build race-fault race-shard race bench-build bench-compare-smoke report-smoke crash-matrix fuzz-smoke
 
 # crash-matrix replays the seeded spill workload, crashing at a bounded
 # stride of write/fsync boundaries (SPILL_CRASH_BOUNDARIES caps the
@@ -41,11 +49,14 @@ check: vet build race-fault race bench-build bench-compare-smoke report-smoke cr
 crash-matrix:
 	SPILL_CRASH_BOUNDARIES=16 $(GO) test -run 'TestCrashMatrix|TestBitFlipQuarantined|TestRecoveryDeterministic' ./internal/spill
 
-# fuzz-smoke runs the record-decode fuzzer briefly: the decoder must
+# fuzz-smoke runs the fuzzers briefly: the spill record decoder must
 # never panic on hostile bytes and every record it accepts must
-# re-encode byte-identically.
+# re-encode byte-identically; the timeline differential fuzzer drives
+# random schedule/cancel/step sequences through the timing wheel and
+# the reference heap and fails on any ordering divergence.
 fuzz-smoke:
 	$(GO) test -run=NoSuchTest -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/spill
+	$(GO) test -run=NoSuchTest -fuzz=FuzzTimelineDifferential -fuzztime=10s ./internal/sim
 
 # bench records a benchstat-comparable baseline: 5 repetitions of every
 # benchmark with allocation stats, captured to BENCH_<date>.json. Compare
@@ -59,19 +70,22 @@ bench-build:
 	$(GO) test -run=NoSuchTest -bench=NoSuchBench ./... > /dev/null
 
 # The gate benchmarks: the paper-figure end-to-end runs whose hot loops
-# this repo optimizes. Kept narrow so bench-compare stays a few minutes.
-GATE_BENCH := BenchmarkFig8CXLOnlyKeyDB|BenchmarkFig10LLMInference
+# this repo optimizes, the timing-wheel kernel microbenchmarks, and the
+# sharded cluster run. Kept narrow so bench-compare stays a few minutes.
+GATE_BENCH := BenchmarkFig8CXLOnlyKeyDB|BenchmarkFig10LLMInference|BenchmarkWheelSteadyState64|BenchmarkWheelSteadyState4096|BenchmarkWheelCancelHeavy|BenchmarkShardedYCSB
+GATE_BENCH_PKGS := . ./internal/sim
 
 # bench-compare reruns the gate benchmarks (count=5, median) and fails
-# when any regresses ns/op more than 10% against the committed baseline.
+# when any regresses ns/op more than 10% against the committed baseline,
+# or when a baseline benchmark is missing from the run.
 bench-compare:
-	$(GO) test -run=NoSuchTest -bench='$(GATE_BENCH)' -benchmem -count=5 . > /tmp/bench-compare.txt
+	$(GO) test -run=NoSuchTest -bench='$(GATE_BENCH)' -benchmem -count=5 $(GATE_BENCH_PKGS) > /tmp/bench-compare.txt
 	$(GO) run ./cmd/benchdiff -threshold 10 bench/BASELINE.txt /tmp/bench-compare.txt
 
 # bench-baseline refreshes the committed baseline after an intentional
 # performance change (commit the result).
 bench-baseline:
-	$(GO) test -run=NoSuchTest -bench='$(GATE_BENCH)' -benchmem -count=5 . > bench/BASELINE.txt
+	$(GO) test -run=NoSuchTest -bench='$(GATE_BENCH)' -benchmem -count=5 $(GATE_BENCH_PKGS) > bench/BASELINE.txt
 
 # bench-compare-smoke exercises the comparison tool against the
 # committed baseline without running any benchmark: it proves the

@@ -239,6 +239,28 @@ func BenchmarkCXL2Pooling(b *testing.B) {
 	report(b, "pool", core.Options{})
 }
 
+// BenchmarkShardedYCSB runs the 4-node KeyDB cluster on 4 shards: the
+// end-to-end cost of the conservative-lookahead kernel including the
+// per-epoch fan-out/merge. Output is byte-identical to a 1-shard run
+// (see internal/kvstore cluster tests); this gates its wall-clock.
+func BenchmarkShardedYCSB(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := kvstore.RunCluster(kvstore.ClusterConfig{
+			Nodes:      4,
+			Shards:     4,
+			Config:     kvstore.ConfInter11,
+			Deploy:     kvstore.DeployOptions{SimKeys: 1 << 12},
+			Mix:        workload.YCSBB,
+			OpsPerNode: 2_000,
+			Seed:       42,
+			RemoteFrac: 0.15,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationFlashEngine compares the analytic RocksDB cost model
 // against the structural LSM tree behind KeyDB-FLASH: both must yield the
 // same qualitative Fig. 5 conclusion (SSD spill well behind MMEM), with

@@ -10,8 +10,10 @@
 // noise a count=1 run shows. Exit status 1 means at least one benchmark
 // in both files regressed ns/op, allocs/op, or B/op by more than
 // -threshold percent (memory gating needs -benchmem in both files; a
-// zero allocs/op baseline fails on any new allocation); benchmarks
-// present in only one file are reported but do not fail the comparison.
+// zero allocs/op baseline fails on any new allocation), or that a
+// baseline benchmark is missing from the new run — deleting a gate
+// benchmark must not silently pass. New benchmarks present only in
+// the new file are reported but do not fail the comparison.
 package main
 
 import (
@@ -50,7 +52,7 @@ func main() {
 	report, failed := diff(old, cur, *threshold)
 	fmt.Print(report)
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchdiff: ns/op, allocs/op, or B/op regression beyond %.0f%%\n", *threshold)
+		fmt.Fprintf(os.Stderr, "benchdiff: regression beyond %.0f%% or baseline benchmark gone\n", *threshold)
 		os.Exit(1)
 	}
 }

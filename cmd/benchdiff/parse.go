@@ -114,8 +114,12 @@ func regressed(old, cur, threshold float64) bool {
 
 // diff renders an old-vs-new comparison table and reports whether any
 // benchmark present in both files regressed ns/op, allocs/op, or B/op
-// beyond threshold percent. Memory rows only print when the medians
-// differ; memory gating needs -benchmem in both files.
+// beyond threshold percent. A baseline benchmark missing from the
+// current run also fails: a silently deleted (or renamed) gate
+// benchmark would otherwise pass forever. New benchmarks absent from
+// the baseline are reported but do not fail. Memory rows only print
+// when the medians differ; memory gating needs -benchmem in both
+// files.
 func diff(old, cur map[string]*series, threshold float64) (string, bool) {
 	names := make([]string, 0, len(old))
 	for name := range old {
@@ -155,7 +159,8 @@ func diff(old, cur map[string]*series, threshold float64) (string, bool) {
 		case o == nil:
 			fmt.Fprintf(&b, "%-34s %14s %14.0f %8s\n", name, "-", n.medianNs(), "new")
 		case n == nil:
-			fmt.Fprintf(&b, "%-34s %14.0f %14s %8s\n", name, o.medianNs(), "-", "gone")
+			fmt.Fprintf(&b, "%-34s %14.0f %14s %8s  FAIL\n", name, o.medianNs(), "-", "gone")
+			failed = true
 		default:
 			delta := (n.medianNs() - o.medianNs()) / o.medianNs() * 100
 			mark := ""

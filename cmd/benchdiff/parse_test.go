@@ -128,14 +128,34 @@ func TestDiffSelfIsClean(t *testing.T) {
 	}
 }
 
-func TestDiffHandlesDisjointSets(t *testing.T) {
-	old := parse("BenchmarkGone-8 10 100 ns/op\n")
-	cur := parse("BenchmarkNew-8 10 100 ns/op\n")
+// TestDiffGoneBaselineFails pins the gate semantics: deleting (or
+// renaming) a benchmark that the baseline lists must fail — otherwise
+// a regression can hide by removing its own gate.
+func TestDiffGoneBaselineFails(t *testing.T) {
+	old := parse("BenchmarkGone-8 10 100 ns/op\nBenchmarkKept-8 10 100 ns/op\n")
+	cur := parse("BenchmarkKept-8 10 100 ns/op\n")
+	report, failed := diff(old, cur, 10)
+	if !failed {
+		t.Fatalf("baseline benchmark missing from the new run must fail:\n%s", report)
+	}
+	for _, line := range strings.Split(report, "\n") {
+		if strings.Contains(line, "BenchmarkGone") &&
+			(!strings.Contains(line, "gone") || !strings.Contains(line, "FAIL")) {
+			t.Fatalf("gone row missing gone/FAIL markers:\n%s", report)
+		}
+	}
+}
+
+// TestDiffNewBenchmarkIsClean: a benchmark that exists only in the new
+// run is informational — baselines are regenerated after it lands.
+func TestDiffNewBenchmarkIsClean(t *testing.T) {
+	old := parse("BenchmarkKept-8 10 100 ns/op\n")
+	cur := parse("BenchmarkKept-8 10 100 ns/op\nBenchmarkNew-8 10 100 ns/op\n")
 	report, failed := diff(old, cur, 10)
 	if failed {
-		t.Fatal("disjoint benchmark sets must not fail the comparison")
+		t.Fatalf("new benchmark absent from the baseline must not fail:\n%s", report)
 	}
-	if !strings.Contains(report, "gone") || !strings.Contains(report, "new") {
-		t.Fatalf("report missing gone/new markers:\n%s", report)
+	if !strings.Contains(report, "new") {
+		t.Fatalf("report missing new marker:\n%s", report)
 	}
 }

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"cxlsim/internal/cliutil"
 	"cxlsim/internal/core"
 	"cxlsim/internal/fault"
 	"cxlsim/internal/prof"
@@ -51,6 +52,7 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments and exit")
 	format := flag.String("format", "table", "output format: table or csv")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines per experiment fan-out (1 = serial)")
+	shards := cliutil.Shards(flag.CommandLine)
 	faults := flag.String("faults", "", "replay this fault schedule (JSON) in the serving experiments")
 	sloPath := flag.String("slo", "", "evaluate this SLO spec (JSON) over windowed experiment cells")
 	windowsMs := flag.Float64("windows", 0, "windowed metric aggregation, virtual ms (0 = off; -slo/-report default it to the spec's window_ms or 10)")
@@ -75,6 +77,9 @@ func main() {
 	}
 	if *parallel < 1 {
 		usageError("-parallel must be >= 1")
+	}
+	if err := cliutil.CheckShards(*shards); err != nil {
+		usageError("%v", err)
 	}
 	if *format != "table" && *format != "csv" {
 		usageError("unknown format %q (want table or csv)", *format)
@@ -121,7 +126,7 @@ func main() {
 		}
 	}
 	opt := core.Options{Quick: *quick, Seed: *seed, Parallel: *parallel, Faults: schedule,
-		WindowNs: windowNs, SLO: sloSpec}
+		WindowNs: windowNs, SLO: sloSpec, Shards: *shards}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {

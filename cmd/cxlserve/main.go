@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"cxlsim/internal/cliutil"
 	"cxlsim/internal/fault"
 	"cxlsim/internal/llm"
 	"cxlsim/internal/llmserve"
@@ -73,6 +74,8 @@ func main() {
 	shedAfterMs := flag.Float64("shed-after-ms", 0, "shed requests (503) when virtual queue wait exceeds this (0 = never)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 	spillDir := flag.String("spill-dir", "", "open (recovering if needed) a durable spill tier and expose its I/O and recovery metrics at /metrics")
+	fleetSize := flag.Int("fleet", 1, "simulated serving instances for the startup fleet capacity preview (>1 runs the sharded fleet simulation)")
+	shards := cliutil.Shards(flag.CommandLine)
 	flag.Parse()
 
 	var chosen *llm.Policy
@@ -91,6 +94,15 @@ func main() {
 	}
 	if *shedAfterMs < 0 {
 		usageError("-shed-after-ms cannot be negative")
+	}
+	if *fleetSize < 1 {
+		usageError("-fleet must be at least 1 (got %d)", *fleetSize)
+	}
+	if err := cliutil.CheckShards(*shards); err != nil {
+		usageError("%v", err)
+	}
+	if *fleetSize == 1 && *shards != 1 {
+		usageError("-shards needs -fleet > 1 (a single instance is one timeline)")
 	}
 	var faultsSet bool
 	flag.Visit(func(f *flag.Flag) {
@@ -178,6 +190,23 @@ func main() {
 			state = "repaired"
 		}
 		fmt.Printf("cxlserve: spill tier %s recovered (%s): %s\n", *spillDir, state, rep)
+	}
+
+	if *fleetSize > 1 {
+		// Sharded fleet capacity preview: how this policy/backend shape
+		// behaves as a load-shedding fleet, before taking live traffic.
+		fr, err := llm.ServeFleet(llm.FleetConfig{
+			Instances: *fleetSize,
+			Shards:    *shards,
+			Policy:    *chosen,
+			Backends:  *backends,
+			Seed:      42,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("cxlserve: fleet preview: %d instances, %.1f req/s aggregate, p99 %.1f ms, %d shed hops\n",
+			*fleetSize, float64(fr.Served)/(fr.EndNs/1e9), fr.Latency.Percentile(99)/1e6, fr.Forwarded)
 	}
 
 	fmt.Printf("cxlserve: policy=%s backends=%d rate=%.0f tok/s listening on %s\n",

@@ -23,6 +23,7 @@ import (
 	"strings"
 	"time"
 
+	"cxlsim/internal/cliutil"
 	"cxlsim/internal/kvstore"
 	"cxlsim/internal/obs"
 	"cxlsim/internal/prof"
@@ -38,6 +39,8 @@ func main() {
 	metrics := flag.String("metrics", "", "also write a Prometheus text snapshot here")
 	limit := flag.Int("limit", 0, "cap recorded trace events (0 = unlimited)")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "cap on worker parallelism (sets GOMAXPROCS; 1 = serial)")
+	nodes := cliutil.Nodes(flag.CommandLine)
+	shards := cliutil.Shards(flag.CommandLine)
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -57,6 +60,15 @@ func main() {
 	if *cpuprofile != "" && *cpuprofile == *memprofile {
 		usageError("-cpuprofile and -memprofile cannot share a file")
 	}
+	if err := cliutil.CheckNodes(*nodes); err != nil {
+		usageError("%v", err)
+	}
+	if err := cliutil.CheckShards(*shards); err != nil {
+		usageError("%v", err)
+	}
+	if *nodes == 1 && *shards != 1 {
+		usageError("-shards needs -nodes > 1 (the single-node run is already one timeline)")
+	}
 	runtime.GOMAXPROCS(*parallel)
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -69,23 +81,51 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	d, err := kvstore.Deploy(kvstore.ConfigName(*config), kvstore.DeployOptions{SimKeys: 1 << 16})
-	if err != nil {
-		fatal(err)
-	}
-	d.Warm(mix, 120, 100_000, *seed)
-
 	reg := obs.NewRegistry()
 	tr := obs.NewTracer()
 	tr.SetLimit(*limit)
 	obs.InstrumentMemsim(reg)
 	defer obs.InstrumentMemsim(nil)
 
-	rc := d.RunConfigFor(mix, *seed)
-	rc.Ops = *ops
-	rc.Metrics = reg
-	rc.Tracer = tr
-	res := kvstore.Run(d.Store, d.Alloc, rc)
+	var res kvstore.Result
+	if *nodes > 1 {
+		// Cluster mode: merged metrics from every node, trace from node 0
+		// (the tracer is single-timeline; see kvstore.ClusterConfig).
+		perNode := *ops / *nodes
+		if perNode < 1 {
+			perNode = 1
+		}
+		cres, err := kvstore.RunCluster(kvstore.ClusterConfig{
+			Nodes:      *nodes,
+			Shards:     *shards,
+			Config:     kvstore.ConfigName(*config),
+			Deploy:     kvstore.DeployOptions{SimKeys: 1 << 16},
+			Mix:        mix,
+			OpsPerNode: perNode,
+			Seed:       *seed,
+			WarmEpochs: 120,
+			WarmDraws:  100_000,
+			Metrics:    reg,
+			Tracer:     tr,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res = cres.Merged
+		fmt.Fprintf(os.Stderr, "cxltrace: %d nodes on %d shard(s), %d forwarded ops; trace covers node 0\n",
+			*nodes, cres.Shards, cres.Merged.Forwarded)
+	} else {
+		d, err := kvstore.Deploy(kvstore.ConfigName(*config), kvstore.DeployOptions{SimKeys: 1 << 16})
+		if err != nil {
+			fatal(err)
+		}
+		d.Warm(mix, 120, 100_000, *seed)
+		rc := d.RunConfigFor(mix, *seed)
+		rc.Ops = *ops
+		rc.Metrics = reg
+		rc.Tracer = tr
+		res = kvstore.Run(d.Store, d.Alloc, rc)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"cxlsim/internal/cliutil"
 	"cxlsim/internal/fault"
 	"cxlsim/internal/kvstore"
 	"cxlsim/internal/obs"
@@ -66,6 +67,8 @@ func main() {
 	reportPath := flag.String("report", "", "write a self-contained HTML report of the windowed run(s)")
 	dump := flag.String("dump", "", "write each pass's windowed snapshot as <prefix>-<label>.json")
 	spillDir := flag.String("spill-dir", "", "durable on-disk spill tier root (Flash configs only); each pass uses its own subdirectory")
+	nodes := cliutil.Nodes(flag.CommandLine)
+	shards := cliutil.Shards(flag.CommandLine)
 	list := flag.Bool("list-configs", false, "list configurations and exit")
 	flag.Parse()
 
@@ -81,6 +84,15 @@ func main() {
 	}
 	if *windowsMs < 0 {
 		usageError("-windows cannot be negative")
+	}
+	if err := cliutil.CheckNodes(*nodes); err != nil {
+		usageError("%v", err)
+	}
+	if err := cliutil.CheckShards(*shards); err != nil {
+		usageError("%v", err)
+	}
+	if *nodes == 1 && *shards != 1 {
+		usageError("-shards needs -nodes > 1 (the single-node run is already one timeline)")
 	}
 	var wlSet, faultsSet bool
 	flag.Visit(func(f *flag.Flag) {
@@ -129,6 +141,20 @@ func main() {
 	mix, records, err := resolveWorkload(*wl, *spec)
 	if err != nil {
 		fatal("%v", err)
+	}
+
+	if *nodes > 1 {
+		// Cluster mode: the sharded multi-node path. The windowed stack
+		// and the durable spill tier are single-node machinery.
+		if windowed {
+			usageError("-slo/-windows/-report/-dump are not supported with -nodes > 1")
+		}
+		if *spillDir != "" {
+			usageError("-spill-dir is not supported with -nodes > 1")
+		}
+		runClusterMode(*config, mix, records, *nodes, *shards, *ops, *seed,
+			schedule, *faults, *trace, *metrics)
+		return
 	}
 
 	opts := kvstore.DeployOptions{SimKeys: 1 << 16}
@@ -247,6 +273,99 @@ func main() {
 			fatal("%v", err)
 		}
 		fmt.Fprintf(os.Stderr, "cxlycsb: wrote %s (%d run(s))\n", *reportPath, len(live))
+	}
+}
+
+// runClusterMode executes the -nodes > 1 path: a healthy sharded
+// cluster run (and, with -faults, a degraded second pass on fresh
+// deployments) printing the same YCSB-client-flavoured report plus
+// [CLUSTER] lines. Output is byte-identical at any -shards value.
+func runClusterMode(config string, mix workload.YCSBMix, records uint64, nodes, shards, ops int, seed int64,
+	schedule *fault.Schedule, faultsPath, tracePath, metricsPath string) {
+	opts := kvstore.DeployOptions{SimKeys: 1 << 16}
+	if records > 0 && records < uint64(opts.SimKeys) {
+		opts.SimKeys = int(records)
+	}
+	perNode := ops / nodes
+	if perNode < 1 {
+		perNode = 1
+	}
+	cc := kvstore.ClusterConfig{
+		Nodes:      nodes,
+		Shards:     shards,
+		Config:     kvstore.ConfigName(config),
+		Deploy:     opts,
+		Mix:        mix,
+		OpsPerNode: perNode,
+		Seed:       seed,
+		WarmEpochs: 120,
+		WarmDraws:  100_000,
+	}
+	if metricsPath != "" {
+		cc.Metrics = obs.NewRegistry()
+	}
+	if tracePath != "" {
+		cc.Tracer = obs.NewTracer()
+	}
+	res, err := kvstore.RunCluster(cc)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	if tracePath != "" {
+		if err := writeTrace(tracePath, cc.Tracer); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "cxlycsb: wrote %s (%d events, node 0 only)\n", tracePath, cc.Tracer.Len())
+	}
+	if metricsPath != "" {
+		if err := writeMetrics(metricsPath, cc.Metrics); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "cxlycsb: wrote %s\n", metricsPath)
+	}
+
+	m := res.Merged
+	fmt.Printf("[OVERALL], Configuration, %s\n", config)
+	fmt.Printf("[OVERALL], Workload, %s\n", mix.Name)
+	fmt.Printf("[OVERALL], Nodes, %d\n", nodes)
+	// The shard count is an execution detail, not a result: it goes to
+	// stderr so stdout is byte-identical at any -shards value.
+	fmt.Fprintf(os.Stderr, "cxlycsb: %d nodes on %d shard(s)\n", nodes, res.Shards)
+	fmt.Printf("[OVERALL], Throughput(ops/sec), %.1f\n", m.ThroughputOpsPerSec)
+	for _, p := range []float64{50, 90, 95, 99, 99.9} {
+		fmt.Printf("[READ], %gthPercentileLatency(us), %.1f\n", p, m.ReadLatency.Percentile(p)/1e3)
+	}
+	fmt.Printf("[READ], AverageLatency(us), %.1f\n", m.ReadLatency.Mean()/1e3)
+	fmt.Printf("[CACHE], HitRate, %.4f\n", m.HitRate)
+	fmt.Printf("[CLUSTER], ForwardedOps, %d\n", m.Forwarded)
+	fmt.Printf("[CLUSTER], Epochs, %d\n", res.Epochs)
+	fmt.Printf("[CLUSTER], Events, %d\n", res.Events)
+	for i, r := range res.PerNode {
+		fmt.Printf("[CLUSTER], Node %d, Throughput(ops/sec), %.1f\n", i, r.ThroughputOpsPerSec)
+	}
+
+	if schedule != nil {
+		dcc := cc
+		dcc.FaultSchedule = schedule
+		dcc.Metrics = nil
+		dcc.Tracer = nil
+		dres, err := kvstore.RunCluster(dcc)
+		if err != nil {
+			fatal("%v", err)
+		}
+		dm := dres.Merged
+		fmt.Printf("[FAULT], Schedule, %s\n", faultsPath)
+		fmt.Printf("[FAULT], Throughput(ops/sec), %.1f (%+.1f%%)\n",
+			dm.ThroughputOpsPerSec, delta(dm.ThroughputOpsPerSec, m.ThroughputOpsPerSec))
+		for _, p := range []float64{50, 99} {
+			fmt.Printf("[FAULT], READ %gthPercentileLatency(us), %.1f (%+.1f%%)\n",
+				p, dm.ReadLatency.Percentile(p)/1e3,
+				delta(dm.ReadLatency.Percentile(p), m.ReadLatency.Percentile(p)))
+		}
+		fmt.Printf("[FAULT], Timeouts, %d\n", dm.Timeouts)
+		fmt.Printf("[FAULT], Retries, %d\n", dm.Retries)
+		fmt.Printf("[FAULT], FailedOps, %d\n", dm.Failed)
 	}
 }
 

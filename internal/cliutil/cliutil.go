@@ -1,0 +1,39 @@
+// Package cliutil centralizes flag conventions shared by the cxl*
+// commands, so every tool registers the same names with the same
+// defaults and help text and rejects the same invalid values. The
+// sharded-execution flags live here: -shards picks how many OS threads
+// execute a sharded simulation (output is byte-identical at any value)
+// and -nodes sizes a simulated cluster.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+)
+
+const (
+	shardsHelp = "parallel simulation shards (1 = single-threaded; output is byte-identical at any value)"
+	nodesHelp  = "simulated cluster nodes (1 = the single-server methodology; >1 runs the sharded cluster)"
+)
+
+// Shards registers the standard -shards flag on fs (default 1).
+func Shards(fs *flag.FlagSet) *int { return fs.Int("shards", 1, shardsHelp) }
+
+// Nodes registers the standard -nodes flag on fs (default 1).
+func Nodes(fs *flag.FlagSet) *int { return fs.Int("nodes", 1, nodesHelp) }
+
+// CheckShards validates a -shards value.
+func CheckShards(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-shards must be at least 1 (got %d)", n)
+	}
+	return nil
+}
+
+// CheckNodes validates a -nodes value.
+func CheckNodes(n int) error {
+	if n < 1 {
+		return fmt.Errorf("-nodes must be at least 1 (got %d)", n)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestShardsFlagDefaultsAndParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	s := Shards(fs)
+	n := Nodes(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if *s != 1 || *n != 1 {
+		t.Fatalf("defaults = shards %d, nodes %d; want 1, 1", *s, *n)
+	}
+
+	fs = flag.NewFlagSet("t", flag.ContinueOnError)
+	s, n = Shards(fs), Nodes(fs)
+	if err := fs.Parse([]string{"-shards", "4", "-nodes", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if *s != 4 || *n != 8 {
+		t.Fatalf("parsed shards %d, nodes %d; want 4, 8", *s, *n)
+	}
+}
+
+func TestShardsHelpMentionsDeterminism(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	Shards(fs)
+	f := fs.Lookup("shards")
+	if f == nil {
+		t.Fatal("shards flag not registered")
+	}
+	if !strings.Contains(f.Usage, "byte-identical") {
+		t.Fatalf("shards help %q does not state the determinism guarantee", f.Usage)
+	}
+}
+
+func TestCheckRejectsInvalid(t *testing.T) {
+	for _, bad := range []int{0, -1, -100} {
+		if CheckShards(bad) == nil {
+			t.Fatalf("CheckShards(%d) accepted", bad)
+		}
+		if CheckNodes(bad) == nil {
+			t.Fatalf("CheckNodes(%d) accepted", bad)
+		}
+	}
+	for _, ok := range []int{1, 2, 64} {
+		if err := CheckShards(ok); err != nil {
+			t.Fatalf("CheckShards(%d): %v", ok, err)
+		}
+		if err := CheckNodes(ok); err != nil {
+			t.Fatalf("CheckNodes(%d): %v", ok, err)
+		}
+	}
+}
+
+func TestNonNumericValueRejectedByParse(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	Shards(fs)
+	if err := fs.Parse([]string{"-shards", "many"}); err == nil {
+		t.Fatal("non-numeric -shards parsed without error")
+	}
+}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestExperimentsRegistry(t *testing.T) {
-	want := []string{"dram", "emu", "fig10", "fig3", "fig4", "fig5", "fig7", "fig8", "fleet", "gen", "plan", "pool", "qos", "sec43", "sense", "table2", "table3"}
+	want := []string{"dram", "emu", "fig10", "fig3", "fig4", "fig5", "fig7", "fig8", "fleet", "gen", "plan", "pool", "qos", "sec43", "sense", "shard", "table2", "table3"}
 	got := Experiments()
 	if len(got) != len(want) {
 		t.Fatalf("experiments = %v, want %v", got, want)
@@ -185,6 +185,27 @@ func TestRunAllParallelByteIdentical(t *testing.T) {
 	parallel := render(8)
 	if serial != parallel {
 		t.Fatal("parallel RunAll output differs from serial run")
+	}
+}
+
+// TestShardExperimentByteIdenticalAcrossShards pins the -shards contract
+// at the report level: the rendered table must not change with the shard
+// count.
+func TestShardExperimentByteIdenticalAcrossShards(t *testing.T) {
+	render := func(shards int) string {
+		rep, err := Run("shard", Options{Quick: true, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		rep.WriteTable(&sb)
+		return sb.String()
+	}
+	want := render(1)
+	for _, shards := range []int{2, 4, 8} {
+		if got := render(shards); got != want {
+			t.Fatalf("shard experiment diverged at shards=%d:\n%s\nvs\n%s", shards, want, got)
+		}
 	}
 }
 

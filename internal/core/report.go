@@ -136,6 +136,11 @@ type Options struct {
 	// against every windowed cell; the per-window results ride along in
 	// Report.Runs[i].SLO.
 	SLO *slo.Spec
+	// Shards caps the parallel shards inside sharded-engine experiments
+	// (the shard experiment's cluster and fleet runs). 0 or 1 means one
+	// shard. Like Parallel, tables are byte-identical at any setting —
+	// shards change wall-clock time, never results.
+	Shards int
 }
 
 func (o Options) seed() int64 {

@@ -2,6 +2,7 @@ package kvstore
 
 import (
 	"fmt"
+	"math/rand"
 
 	"cxlsim/internal/fault"
 	"cxlsim/internal/obs"
@@ -129,6 +130,10 @@ type Result struct {
 	Timeouts uint64 // attempts abandoned past RunConfig.TimeoutNs
 	Retries  uint64 // re-issues after a timeout
 	Failed   uint64 // ops abandoned for good after MaxRetries
+
+	// Forwarded counts ops this node originated but another cluster node
+	// owned and served (always zero outside RunCluster).
+	Forwarded uint64
 }
 
 // P99Ms is a convenience accessor for tail-latency tables (Fig. 5(b)).
@@ -142,6 +147,23 @@ func (r Result) P99Ms() float64 { return r.Latency.Percentile(99) / 1e6 }
 func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 	rc.fill()
 	eng := sim.NewEngine()
+	sr := startRun(eng, store, alloc, &rc, nil, 0)
+	for sr.rl.completed < sr.rl.totalOps && eng.Step() {
+	}
+	return sr.finish(eng.Now())
+}
+
+// startedRun is one node's in-flight run: Run drives it on a plain
+// engine, RunCluster on one shard of a ShardedEngine.
+type startedRun struct {
+	rl     *runLoop
+	ticker *sim.Ticker
+}
+
+// startRun wires observability, faults, and the closed-loop state machine
+// onto eng and seeds the initial client window. cl/nodeID attach the loop
+// to a cluster run (nil/0 for single-node Run). rc must already be filled.
+func startRun(eng *sim.Engine, store *Store, alloc *vmm.Allocator, rc *RunConfig, cl *clusterRun, nodeID int) *startedRun {
 	store.WarmCache(rc.Mix, 4*store.cfg.SimKeys, rc.Seed+991)
 	var gen OpSource = rc.Source
 	if gen == nil {
@@ -161,7 +183,12 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 		latH, readH *obs.Histogram
 		opsC        *obs.CounterVec
 	)
-	if instrumented {
+	if instrumented && cl == nil {
+		// Kernel metrics are engine-scoped, and under RunCluster several
+		// partitions share one engine (how many depends on the shard
+		// count), so installing per-node observers would both misattribute
+		// events and break shard-count invariance. Cluster runs report
+		// kernel totals through ClusterResult.Events instead.
 		eng.SetObserver(obs.NewKernelObserver(rc.Metrics, rc.Tracer, 0))
 	}
 	if rc.Metrics != nil {
@@ -226,14 +253,15 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 			hs.SetHealth(rc.Faults)
 		}
 		rc.Tiers.Health = rc.Faults
-		defer rc.Faults.Reset()
 	}
 
 	rl := &runLoop{
 		eng:        eng,
 		store:      store,
-		rc:         &rc,
+		rc:         rc,
 		gen:        gen,
+		cl:         cl,
+		nodeID:     nodeID,
 		res:        &res,
 		latH:       latH,
 		readH:      readH,
@@ -255,6 +283,16 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 		rl.flC = rc.Metrics.Counter(obs.MetricKVFailed, "ops abandoned after exhausting retries")
 		rl.backoffH = rc.Metrics.Histogram(obs.MetricKVBackoff,
 			"retry backoff waits, ns", stats.NewLatencyHistogram)
+	}
+	if cl != nil {
+		// Destination draws ride the node's own RNG: picks depend only on
+		// this node's local event order, which the sharded engine keeps
+		// invariant across shard counts.
+		rl.destRng = rand.New(rand.NewSource(rc.Seed*31 + 12347))
+		if rc.Metrics != nil {
+			rl.fwdC = rc.Metrics.Counter("kvstore_remote_forwarded_total",
+				"ops forwarded to their owning node over the cluster fabric")
+		}
 	}
 
 	// Epoch ticker: resolve memory contention, run the tiering daemon,
@@ -284,21 +322,33 @@ func Run(store *Store, alloc *vmm.Allocator, rc RunConfig) Result {
 	})
 
 	for i := 0; i < rc.ClientThreads; i++ {
-		rl.queue = append(rl.queue, pendingOp{op: gen.Next(), issue: 0})
+		p := pendingOp{op: gen.Next(), issue: 0, dest: nodeID}
+		if cl != nil {
+			p.dest = cl.pickDest(rl)
+		}
+		rl.queue = append(rl.queue, p)
 	}
 	rl.inflightOps = rc.ClientThreads
 	rl.dispatch(0)
-	for rl.completed < rl.totalOps && eng.Step() {
-	}
-	ticker.Stop()
-	end := eng.Now()
-	rc.Windows.Close(end)
+	return &startedRun{rl: rl, ticker: ticker}
+}
 
+// finish stops the epoch ticker, seals windows, resets faults, and
+// computes the run's measurements as of virtual time end.
+func (sr *startedRun) finish(end sim.Time) Result {
+	rl := sr.rl
+	rc := rl.rc
+	sr.ticker.Stop()
+	rc.Windows.Close(end)
+	res := *rl.res
 	elapsed := float64(end - rl.measureStart)
 	if elapsed > 0 && rl.measuredOps > 0 {
 		res.ThroughputOpsPerSec = float64(rl.measuredOps) / (elapsed / 1e9)
 	}
-	res.HitRate = store.HitRate()
+	res.HitRate = rl.store.HitRate()
+	if rc.Faults != nil {
+		rc.Faults.Reset()
+	}
 	return res
 }
 
@@ -309,6 +359,15 @@ type pendingOp struct {
 	// whose client gave up — the completion event only frees the thread.
 	attempt   int
 	abandoned bool
+
+	// Cluster routing (only meaningful under RunCluster). dest is the node
+	// that owns and serves the op — equal to the originating node for local
+	// ops, so the single-node zero value is always "local". fromRemote
+	// marks an op that arrived over the fabric; origin is then the node
+	// whose client is waiting on it.
+	dest       int
+	fromRemote bool
+	origin     int
 }
 
 // runLoop is the closed-loop client/server state machine for one Run. It
@@ -348,6 +407,13 @@ type runLoop struct {
 	maxRetries           int
 	toC, rtC, flC        *obs.Counter
 	backoffH             *obs.Histogram
+
+	// Cluster wiring (nil/zero outside RunCluster; every check below is
+	// guarded by cl != nil so the single-node hot path is unchanged).
+	cl      *clusterRun
+	nodeID  int
+	destRng *rand.Rand
+	fwdC    *obs.Counter
 }
 
 // HandleEvent implements sim.Handler: one server thread finishes the op
@@ -362,6 +428,20 @@ func (rl *runLoop) HandleEvent(now sim.Time, arg uint64) {
 		rl.dispatch(now)
 		return
 	}
+	if rl.cl != nil && p.fromRemote {
+		// Served on behalf of another node: ship the response home; the
+		// origin does the completion accounting when it arrives.
+		rl.cl.respond(rl, p, now)
+		rl.dispatch(now)
+		return
+	}
+	rl.completeOp(p, now)
+}
+
+// completeOp finishes one of this node's own ops: local completions call
+// it straight from HandleEvent, remote completions when the response
+// message arrives back from the serving node.
+func (rl *runLoop) completeOp(p pendingOp, now sim.Time) {
 	rc := rl.rc
 	rl.completed++
 	rl.inflightOps--
@@ -399,20 +479,30 @@ func (rl *runLoop) HandleEvent(now sim.Time, arg uint64) {
 // op generated so far).
 func (rl *runLoop) generate(now sim.Time) {
 	if rl.completed+rl.inflightOps < rl.totalOps {
-		rl.queue = append(rl.queue, pendingOp{op: rl.gen.Next(), issue: now})
+		p := pendingOp{op: rl.gen.Next(), issue: now, dest: rl.nodeID}
+		if rl.cl != nil {
+			p.dest = rl.cl.pickDest(rl)
+		}
+		rl.queue = append(rl.queue, p)
 		rl.inflightOps++
 	}
 }
 
 func (rl *runLoop) dispatch(now sim.Time) {
-	for rl.free > 0 && rl.head < len(rl.queue) {
+	for rl.head < len(rl.queue) {
 		p := rl.queue[rl.head]
-		rl.head++
-		if rl.head == len(rl.queue) {
-			// Drained: rewind so the backing array is reused.
-			rl.queue = rl.queue[:0]
-			rl.head = 0
+		if rl.cl != nil && p.dest != rl.nodeID && !p.fromRemote {
+			// Another node owns this op: forwarding needs the fabric, not a
+			// server thread, so it leaves the queue even when all threads
+			// are busy.
+			rl.advanceHead()
+			rl.cl.forward(rl, p, now)
+			continue
 		}
+		if rl.free == 0 {
+			break
+		}
+		rl.advanceHead()
 		rl.free--
 		svc := rl.store.ServiceTime(p.op, now)
 		slot := rl.slots[len(rl.slots)-1]
@@ -426,6 +516,16 @@ func (rl *runLoop) dispatch(now sim.Time) {
 	}
 }
 
+// advanceHead consumes the queue head, rewinding the backing array once
+// drained so steady-state operation reuses it.
+func (rl *runLoop) advanceHead() {
+	rl.head++
+	if rl.head == len(rl.queue) {
+		rl.queue = rl.queue[:0]
+		rl.head = 0
+	}
+}
+
 // clientTimeout handles an attempt whose service time exceeds the client
 // timeout: the server thread still burns the full service time (the work
 // is wasted, which is what makes degraded devices expensive), while the
@@ -434,6 +534,13 @@ func (rl *runLoop) dispatch(now sim.Time) {
 func (rl *runLoop) clientTimeout(p pendingOp, now sim.Time, slot uint64, svc float64) {
 	rl.inflight[slot] = pendingOp{abandoned: true}
 	rl.eng.AtHandler(now+sim.Time(svc), rl, slot)
+	if rl.cl != nil && p.fromRemote {
+		// The deadline fires here (the serving node tracks the attempt),
+		// but the waiting client lives on the origin: notify it one hop
+		// after the deadline and let it do all retry bookkeeping.
+		rl.cl.respondTimeout(rl, p, now)
+		return
+	}
 	rl.res.Timeouts++
 	if rl.toC != nil {
 		rl.toC.Inc()
@@ -459,6 +566,35 @@ func (rl *runLoop) clientTimeout(p pendingOp, now sim.Time, slot uint64, svc flo
 func (rl *runLoop) requeue(p pendingOp, now sim.Time) {
 	rl.queue = append(rl.queue, p)
 	rl.dispatch(now)
+}
+
+// remoteTimedOut runs on the origin when a timeout notification arrives
+// back over the fabric: the same retry bookkeeping clientTimeout does for
+// local ops, except now is already past the deadline (the hop was paid),
+// so the failure or the backoff starts here. The retried op keeps its
+// destination — the owner does not change — and clears fromRemote so
+// dispatch re-forwards it.
+func (rl *runLoop) remoteTimedOut(p pendingOp, now sim.Time) {
+	rl.res.Timeouts++
+	if rl.toC != nil {
+		rl.toC.Inc()
+	}
+	p.attempt++
+	if p.attempt > rl.maxRetries {
+		rl.finishFailed(now)
+		return
+	}
+	rl.res.Retries++
+	if rl.rtC != nil {
+		rl.rtC.Inc()
+	}
+	backoff := rl.backoffNs * float64(uint64(1)<<uint(p.attempt-1))
+	if rl.backoffH != nil {
+		rl.backoffH.Observe(backoff)
+	}
+	p.fromRemote = false
+	pp := p
+	rl.eng.At(now+sim.Time(backoff), func(t sim.Time) { rl.requeue(pp, t) })
 }
 
 // finishFailed finally completes an op that exhausted its retries. The

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"cxlsim/internal/stats"
+)
+
+func TestRegistryMerge(t *testing.T) {
+	dst := NewRegistry()
+	dst.Counter("ops_total", "ops").Add(10)
+	dst.GaugeVec("depth", "queue depth", "node").With("0").Set(3)
+	dst.Histogram("lat_ns", "latency", nil).Observe(100)
+
+	src := NewRegistry()
+	src.Counter("ops_total", "ops").Add(5)
+	src.Counter("src_only_total", "only in src").Add(7)
+	src.GaugeVec("depth", "queue depth", "node").With("1").Set(4)
+	src.GaugeVec("depth", "queue depth", "node").With("0").Add(2)
+	src.Histogram("lat_ns", "latency", nil).Observe(200)
+	src.Histogram("lat_ns", "latency", nil).Observe(100)
+
+	dst.Merge(src)
+
+	if got := dst.Counter("ops_total", "ops").Value(); got != 15 {
+		t.Fatalf("merged counter = %v, want 15", got)
+	}
+	if got := dst.Counter("src_only_total", "").Value(); got != 7 {
+		t.Fatalf("src-only counter = %v, want 7", got)
+	}
+	if got := dst.GaugeVec("depth", "", "node").With("0").Value(); got != 5 {
+		t.Fatalf("merged gauge node=0 = %v, want 5", got)
+	}
+	if got := dst.GaugeVec("depth", "", "node").With("1").Value(); got != 4 {
+		t.Fatalf("merged gauge node=1 = %v, want 4", got)
+	}
+	hs := dst.Histogram("lat_ns", "", nil).Snapshot()
+	if hs.Count != 3 {
+		t.Fatalf("merged histogram count = %d, want 3", hs.Count)
+	}
+}
+
+// TestRegistryMergeShardInvariant pins the property the sharded runner
+// depends on: merging per-partition registries yields the same snapshot
+// however the partitions were grouped into shards.
+func TestRegistryMergeShardInvariant(t *testing.T) {
+	mkPart := func(p int) *Registry {
+		r := NewRegistry()
+		r.Counter("ops_total", "ops").Add(float64(10 * (p + 1)))
+		r.HistogramVec("lat_ns", "lat", stats.NewLatencyHistogram, "node").
+			With(fmt.Sprint(p)).Observe(float64(100 * (p + 1)))
+		return r
+	}
+	flat := NewRegistry()
+	for p := 0; p < 4; p++ {
+		flat.Merge(mkPart(p))
+	}
+	grouped := NewRegistry()
+	for s := 0; s < 2; s++ { // two "shards" of two partitions each
+		shard := NewRegistry()
+		for p := s; p < 4; p += 2 {
+			shard.Merge(mkPart(p))
+		}
+		grouped.Merge(shard)
+	}
+	aj, err := json.Marshal(flat.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(grouped.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := string(aj), string(bj)
+	if a != b {
+		t.Fatalf("grouped merge diverged from flat merge:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRegistryMergeSelfAndNil(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "").Add(1)
+	r.Merge(nil)
+	r.Merge(r)
+	if got := r.Counter("c", "").Value(); got != 1 {
+		t.Fatalf("self/nil merge changed value to %v", got)
+	}
+}

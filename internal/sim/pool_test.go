@@ -188,6 +188,69 @@ func TestSteadyStateSchedulingDoesNotAllocate(t *testing.T) {
 	}
 }
 
+// TestCrossShardStaleCancelIsRecycledNoOp: under a sharded engine, a
+// handle from one shard's pool whose record has settled and been
+// recycled must read as "recycled" through ANY engine — a stale cancel
+// routed to the wrong shard is a no-op, never an alias onto the
+// record's new occupant.
+func TestCrossShardStaleCancelIsRecycledNoOp(t *testing.T) {
+	se := NewSharded(2, 2, 10)
+	e0, e1 := se.Partition(0), se.Partition(1)
+	if e0 == e1 {
+		t.Fatal("partitions share an engine; want 2 shards")
+	}
+
+	a := e0.At(1, func(Time) {})
+	e0.Cancel(a) // settled: gen bumped once, record on e0's free list
+
+	// Recycle a's record for a new occupant on its own shard.
+	fired := false
+	b := e0.At(5, func(Time) { fired = true })
+
+	// The stale handle crosses the shard boundary: gen mismatch makes it
+	// "recycled" before the ownership check, so this must be a no-op on
+	// BOTH engines — not a panic, and not a deschedule of b.
+	e1.Cancel(a)
+	e0.Cancel(a)
+	if a.Pending() || a.Canceled() {
+		t.Fatal("recycled handle reports state through the new occupant")
+	}
+	if !b.Pending() {
+		t.Fatal("stale cross-shard cancel descheduled the new occupant")
+	}
+	se.Run()
+	if !fired {
+		t.Fatal("new occupant did not fire after stale cross-shard cancel")
+	}
+}
+
+// TestCrossShardLiveCancelPanics: canceling a LIVE event through an
+// engine that does not own its record must panic. Silently splicing the
+// record out of a foreign shard's timeline from another goroutine would
+// corrupt it; silently doing nothing would leak the event. Only the
+// stale (recycled) case is a safe no-op.
+func TestCrossShardLiveCancelPanics(t *testing.T) {
+	se := NewSharded(2, 2, 10)
+	e0, e1 := se.Partition(0), se.Partition(1)
+
+	live := e0.At(5, func(Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("live cross-shard Cancel did not panic")
+		}
+		// The foreign cancel must not have touched the record: the owner
+		// can still cancel it.
+		if !live.Pending() {
+			t.Fatal("foreign Cancel descheduled the event before panicking")
+		}
+		e0.Cancel(live)
+		if !live.Canceled() {
+			t.Fatal("owner cancel failed after rejected foreign cancel")
+		}
+	}()
+	e1.Cancel(live)
+}
+
 // TestCancelRecycledHeapIndex: a record that fired (idx = -1) and was
 // reused sits at a new heap position; canceling through the old handle
 // must not remove the wrong heap entry.

@@ -3,10 +3,16 @@
 //
 // All cxlsim experiments run in virtual time: the kernel owns a virtual
 // clock (nanosecond resolution, stored as float64 so sub-ns device math
-// composes without truncation) and a priority queue of pending events.
+// composes without truncation) and a timeline of pending events — a
+// hierarchical timing wheel by default (wheel.go), or the original
+// container/heap queue under -tags simheap for differential testing.
 // Nothing in the library reads the wall clock; determinism is a hard
 // invariant (see TestDeterminism) because the paper's figures must be
 // regenerable bit-for-bit.
+//
+// For simulations too large for one timeline, ShardedEngine (shard.go)
+// runs K engines in parallel under conservative-lookahead synchronization
+// with deterministic cross-shard delivery.
 //
 // The kernel is allocation-free in steady state: event records live on an
 // engine-owned free list and are recycled as they fire or are canceled.
@@ -17,7 +23,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -70,7 +75,12 @@ type slot struct {
 	fn      func(now Time)
 	handler Handler
 	arg     uint64
-	idx     int // heap index, -1 when popped or canceled
+	// loc names the timeline container currently holding the record
+	// (locNone when settled — see wheel.go for the values); idx is its
+	// position within that container. Maintained by the timeline so a
+	// cancel can splice the record out without a search.
+	loc int32
+	idx int
 	// gen increments once when the record settles (fires or is canceled)
 	// and once more when it is reused for a new event, so a handle can
 	// tell "still mine and pending" (gen equal), "mine and settled" (gen
@@ -78,6 +88,11 @@ type slot struct {
 	// apart. See Event.
 	gen      uint64
 	canceled bool
+	// owner is the engine whose pool the record belongs to. Cancel uses it
+	// to reject a live handle handed to a foreign engine (e.g. across
+	// ShardedEngine shards), where a silent deschedule would corrupt the
+	// other shard's timeline.
+	owner *Engine
 }
 
 // Event is a handle to a scheduled callback. The zero Event is valid and
@@ -127,36 +142,6 @@ type BatchItem struct {
 	Arg     uint64
 }
 
-// eventHeap orders events by (time, sequence).
-type eventHeap []*slot
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*slot)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
-}
-
 // Observer receives kernel lifecycle callbacks. Implementations must be
 // passive: they may record but must not schedule, cancel, or otherwise
 // mutate the engine, or determinism is forfeit. The obs package provides
@@ -178,8 +163,11 @@ const slabSize = 64
 // Engine is a discrete-event simulator instance. The zero value is not
 // usable; call NewEngine.
 type Engine struct {
-	now    Time
-	queue  eventHeap
+	now Time
+	// tl is the pending-event timeline: a timing wheel by default, the
+	// retired binary heap under -tags simheap (see timeline_wheel.go /
+	// timeline_heap.go). Both zero values are ready to use.
+	tl     engineTimeline
 	nextSq uint64
 	fired  uint64
 	obs    Observer
@@ -203,13 +191,23 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending reports how many events are scheduled but not yet fired.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.tl.len() }
+
+// NextEventTime reports the fire time of the earliest pending event, or
+// false if the timeline is empty. ShardedEngine uses it to compute epoch
+// boundaries; it never advances the clock.
+func (e *Engine) NextEventTime() (Time, bool) {
+	return e.tl.peek()
+}
 
 // acquire pops a recycled record (or allocates a slab) and marks it live.
 func (e *Engine) acquire() *slot {
 	if len(e.free) == 0 {
 		slab := make([]slot, slabSize)
 		for i := range slab {
+			slab[i].owner = e
+			slab[i].loc = locNone
+			slab[i].idx = -1
 			e.free = append(e.free, &slab[i])
 		}
 	}
@@ -247,9 +245,9 @@ func (e *Engine) schedule(s *slot, t Time) Event {
 	s.at = t
 	s.seq = e.nextSq
 	e.nextSq++
-	heap.Push(&e.queue, s)
+	e.tl.push(s)
 	if e.obs != nil {
-		e.obs.EventScheduled(t, len(e.queue))
+		e.obs.EventScheduled(t, e.tl.len())
 	}
 	return Event{s: s, gen: s.gen}
 }
@@ -303,27 +301,32 @@ func (e *Engine) AtBatch(items []BatchItem) {
 
 // Cancel removes a pending event from the queue. Canceling the zero
 // handle, an event that already fired or was already canceled, or a
-// stale handle whose record was recycled is a no-op.
+// stale handle whose record was recycled is a no-op. Canceling a live
+// event through an engine that does not own it panics: silently splicing
+// a record out of a foreign timeline (e.g. another shard's) would corrupt
+// that engine, and doing nothing would silently leak the event.
 func (e *Engine) Cancel(ev Event) {
 	s := ev.s
-	if s == nil || s.gen != ev.gen || s.idx < 0 {
+	if s == nil || s.gen != ev.gen || s.loc == locNone {
 		return
 	}
-	heap.Remove(&e.queue, s.idx)
-	s.idx = -1
+	if s.owner != e {
+		panic("sim: Cancel of a live event through an engine that does not own it")
+	}
+	e.tl.remove(s)
 	e.release(s, true)
 	if e.obs != nil {
-		e.obs.EventCanceled(e.now, len(e.queue))
+		e.obs.EventCanceled(e.now, e.tl.len())
 	}
 }
 
 // Step fires the single earliest pending event, advancing the clock to its
 // fire time. It reports false when the queue is empty.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	s := e.tl.pop()
+	if s == nil {
 		return false
 	}
-	s := heap.Pop(&e.queue).(*slot)
 	e.now = s.at
 	e.fired++
 	// Copy the callback out and recycle the record before running it, so
@@ -332,7 +335,7 @@ func (e *Engine) Step() bool {
 	fn, h, arg := s.fn, s.handler, s.arg
 	e.release(s, false)
 	if e.obs != nil {
-		e.obs.EventFired(e.now, len(e.queue))
+		e.obs.EventFired(e.now, e.tl.len())
 	}
 	if h != nil {
 		h.HandleEvent(e.now, arg)
@@ -353,7 +356,11 @@ func (e *Engine) Run() Time {
 // deadline (even if no event fired exactly there). Events scheduled beyond
 // the deadline stay queued.
 func (e *Engine) RunUntil(deadline Time) Time {
-	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+	for {
+		t, ok := e.tl.peek()
+		if !ok || t > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {

@@ -1,0 +1,8 @@
+//go:build simheap
+
+package sim
+
+// engineTimeline under -tags simheap: the retired container/heap
+// timeline, kept selectable for differential testing against the default
+// timing wheel (see timeline_wheel.go).
+type engineTimeline = heapTimeline

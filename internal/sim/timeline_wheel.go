@@ -1,0 +1,10 @@
+//go:build !simheap
+
+package sim
+
+// engineTimeline selects the data structure behind the engine's
+// pending-event queue. The default build uses the hierarchical timing
+// wheel; -tags simheap swaps in the retired container/heap timeline so
+// differential tests and benchmarks can compare the two (see
+// docs/PERFORMANCE.md, "Timeline and sharding").
+type engineTimeline = wheel

@@ -14,6 +14,14 @@ import (
 	"cxlsim/internal/memsim"
 )
 
+// FabricHopNs is the one-way latency between two servers on the testbed
+// fabric (§4.1.1 measures a 10 µs client↔server round trip on the
+// 100 Gbps network; one hop is half of that). It is also the minimum
+// cross-node latency, which makes it the conservative lookahead bound
+// for sharded multi-node simulation: no node can affect another sooner
+// than one hop.
+const FabricHopNs = 5_000.0
+
 // NodeKind distinguishes memory technologies behind a NUMA node.
 type NodeKind int
 
