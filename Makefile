@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCH_OUT ?= BENCH_$(BENCH_DATE).json
 
-.PHONY: all build vet test race race-fault race-shard check bench bench-build bench-compare bench-baseline bench-compare-smoke report-smoke crash-matrix fuzz-smoke
+.PHONY: all build vet test race race-fault race-shard check bench bench-build bench-compare bench-baseline bench-compare-smoke report-smoke crash-matrix fuzz-smoke resp-smoke
 
 all: build
 
@@ -39,7 +39,15 @@ race-shard:
 # running it, so bit-rot in bench code fails the gate cheaply), a smoke
 # of the bench-compare tooling (parses the committed baseline without
 # running any benchmark), and the report determinism smoke.
-check: vet build race-fault race-shard race bench-build bench-compare-smoke report-smoke crash-matrix fuzz-smoke
+check: vet build race-fault race-shard race bench-build bench-compare-smoke report-smoke crash-matrix fuzz-smoke resp-smoke
+
+# resp-smoke is the end-to-end serving gate: it builds the real cxlserve
+# binary, starts it with the RESP front end and durable spill tier on
+# ephemeral ports, drives a pipelined command mix over raw TCP asserting
+# byte-exact replies and per-command /metrics, then SIGINTs and requires
+# a clean graceful drain (spill tier closed exactly once).
+resp-smoke:
+	$(GO) test -run TestRESPSmoke -v ./cmd/cxlserve
 
 # crash-matrix replays the seeded spill workload, crashing at a bounded
 # stride of write/fsync boundaries (SPILL_CRASH_BOUNDARIES caps the
@@ -53,10 +61,14 @@ crash-matrix:
 # never panic on hostile bytes and every record it accepts must
 # re-encode byte-identically; the timeline differential fuzzer drives
 # random schedule/cancel/step sequences through the timing wheel and
-# the reference heap and fails on any ordering divergence.
+# the reference heap and fails on any ordering divergence; the RESP
+# decoder fuzzer feeds hostile frames through the wire parser and
+# requires bounded errors plus an EncodeCommand round-trip on every
+# accepted command.
 fuzz-smoke:
 	$(GO) test -run=NoSuchTest -fuzz=FuzzRecordDecode -fuzztime=10s ./internal/spill
 	$(GO) test -run=NoSuchTest -fuzz=FuzzTimelineDifferential -fuzztime=10s ./internal/sim
+	$(GO) test -run=NoSuchTest -fuzz=FuzzRESPDecode -fuzztime=10s ./internal/resp
 
 # bench records a benchstat-comparable baseline: 5 repetitions of every
 # benchmark with allocation stats, captured to BENCH_<date>.json. Compare

@@ -14,6 +14,17 @@ import (
 const (
 	shardsHelp = "parallel simulation shards (1 = single-threaded; output is byte-identical at any value)"
 	nodesHelp  = "simulated cluster nodes (1 = the single-server methodology; >1 runs the sharded cluster)"
+
+	respAddrHelp  = "serve the RESP (Redis) wire protocol on this TCP address (e.g. :6379); empty disables"
+	respConnsHelp = "maximum simultaneous RESP connections"
+	respFrameHelp = "largest RESP bulk argument accepted, bytes (oversized frames get a protocol-error reply)"
+)
+
+// RESP front-end flag defaults, shared by every command that registers
+// the flags so help text and validation agree.
+const (
+	DefaultRESPMaxConns   = 256
+	DefaultRESPFrameBytes = 4 << 20
 )
 
 // Shards registers the standard -shards flag on fs (default 1).
@@ -36,4 +47,52 @@ func CheckNodes(n int) error {
 		return fmt.Errorf("-nodes must be at least 1 (got %d)", n)
 	}
 	return nil
+}
+
+// RESPFlags holds the registered RESP front-end flag values.
+type RESPFlags struct {
+	Addr       *string
+	MaxConns   *int
+	FrameBytes *int
+}
+
+// RESP registers the standard RESP front-end flags on fs.
+func RESP(fs *flag.FlagSet) RESPFlags {
+	return RESPFlags{
+		Addr:       fs.String("resp", "", respAddrHelp),
+		MaxConns:   fs.Int("resp-max-conns", DefaultRESPMaxConns, respConnsHelp),
+		FrameBytes: fs.Int("resp-frame-bytes", DefaultRESPFrameBytes, respFrameHelp),
+	}
+}
+
+// CheckRESP validates the RESP flag values. tuningSet reports whether
+// -resp-max-conns or -resp-frame-bytes was set explicitly (via
+// flag.Visit): tuning flags without -resp are a mistake worth rejecting
+// rather than silently ignoring.
+func CheckRESP(f RESPFlags, tuningSet bool) error {
+	if *f.Addr == "" {
+		if tuningSet {
+			return fmt.Errorf("-resp-max-conns/-resp-frame-bytes need -resp <addr>")
+		}
+		return nil
+	}
+	if *f.MaxConns < 1 {
+		return fmt.Errorf("-resp-max-conns must be at least 1 (got %d)", *f.MaxConns)
+	}
+	if *f.FrameBytes < 1 {
+		return fmt.Errorf("-resp-frame-bytes must be positive (got %d)", *f.FrameBytes)
+	}
+	return nil
+}
+
+// RESPTuningSet reports whether any RESP tuning flag was explicitly set
+// on fs (call after fs.Parse).
+func RESPTuningSet(fs *flag.FlagSet) bool {
+	set := false
+	fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == "resp-max-conns" || fl.Name == "resp-frame-bytes" {
+			set = true
+		}
+	})
+	return set
 }

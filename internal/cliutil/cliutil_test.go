@@ -59,6 +59,64 @@ func TestCheckRejectsInvalid(t *testing.T) {
 	}
 }
 
+// respParse registers the RESP flags on a fresh flag set, parses argv,
+// and returns the flags plus whether a tuning flag was explicitly set.
+func respParse(t *testing.T, argv ...string) (RESPFlags, bool) {
+	t.Helper()
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := RESP(fs)
+	if err := fs.Parse(argv); err != nil {
+		t.Fatalf("parse %q: %v", argv, err)
+	}
+	return f, RESPTuningSet(fs)
+}
+
+func TestCheckRESP(t *testing.T) {
+	cases := []struct {
+		name string
+		argv []string
+		ok   bool
+	}{
+		{name: "disabled defaults", argv: nil, ok: true},
+		{name: "addr with defaults", argv: []string{"-resp", ":6379"}, ok: true},
+		{name: "addr with tuning", argv: []string{"-resp", ":6379", "-resp-max-conns", "8", "-resp-frame-bytes", "1024"}, ok: true},
+		{name: "tuning without addr", argv: []string{"-resp-max-conns", "8"}, ok: false},
+		{name: "frame without addr", argv: []string{"-resp-frame-bytes", "1024"}, ok: false},
+		{name: "zero conns", argv: []string{"-resp", ":6379", "-resp-max-conns", "0"}, ok: false},
+		{name: "negative conns", argv: []string{"-resp", ":6379", "-resp-max-conns", "-3"}, ok: false},
+		{name: "zero frame", argv: []string{"-resp", ":6379", "-resp-frame-bytes", "0"}, ok: false},
+		{name: "negative frame", argv: []string{"-resp", ":6379", "-resp-frame-bytes", "-1"}, ok: false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, tuningSet := respParse(t, tc.argv...)
+			err := CheckRESP(f, tuningSet)
+			if tc.ok && err != nil {
+				t.Fatalf("rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("accepted, want error")
+			}
+		})
+	}
+}
+
+// TestRESPDefaultsMatchServer pins the flag defaults to the server's
+// own: explicitly-set-to-default and unset must behave identically.
+func TestRESPDefaultsMatchServer(t *testing.T) {
+	f, tuningSet := respParse(t)
+	if tuningSet {
+		t.Fatal("no tuning flags set, but RESPTuningSet reports true")
+	}
+	if *f.MaxConns != DefaultRESPMaxConns || *f.FrameBytes != DefaultRESPFrameBytes {
+		t.Fatalf("defaults: conns=%d frame=%d", *f.MaxConns, *f.FrameBytes)
+	}
+	if _, tuningSet := respParse(t, "-resp-max-conns", "256"); !tuningSet {
+		t.Fatal("explicit tuning flag not detected by RESPTuningSet")
+	}
+}
+
 func TestNonNumericValueRejectedByParse(t *testing.T) {
 	fs := flag.NewFlagSet("t", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)

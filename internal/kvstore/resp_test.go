@@ -1,0 +1,260 @@
+package kvstore
+
+import (
+	"strings"
+	"testing"
+
+	"cxlsim/internal/obs"
+	"cxlsim/internal/resp"
+	"cxlsim/internal/spill"
+	"cxlsim/internal/topology"
+	"cxlsim/internal/vmm"
+)
+
+// respStore builds a small priced store for RESP backend tests.
+func respStore(t *testing.T) *Store {
+	t.Helper()
+	m := topology.Testbed()
+	st, err := NewStore(m, vmm.NewAllocator(m), StoreConfig{
+		WorkingSetBytes: 1 << 30,
+		SimKeys:         1 << 10,
+		MaxMemoryFrac:   1,
+		Policy:          vmm.Bind{Nodes: m.DRAMNodes(0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func openTier(t *testing.T, dir string) *spill.Dir {
+	t.Helper()
+	d, _, err := spill.Open(spill.Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+// TestRESPBackendSemantics covers the command semantics of the
+// memory-only backend: set/get/del/exists/incr/mget/mset.
+func TestRESPBackendSemantics(t *testing.T) {
+	b := NewRESPBackend(respStore(t), nil)
+
+	if _, ok, err := b.Get([]byte("nope")); ok || err != nil {
+		t.Fatalf("get of missing key: ok=%v err=%v", ok, err)
+	}
+	if err := b.Set([]byte("k"), []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := b.Get([]byte("k")); !ok || string(v) != "v1" {
+		t.Fatalf("get after set: %q ok=%v", v, ok)
+	}
+	if err := b.Set([]byte("k"), []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := b.Get([]byte("k")); string(v) != "v2" {
+		t.Fatalf("overwrite lost: %q", v)
+	}
+
+	if n, _ := b.Exists([][]byte{[]byte("k"), []byte("nope"), []byte("k")}); n != 2 {
+		t.Fatalf("exists=%d, want 2", n)
+	}
+
+	for want := int64(1); want <= 3; want++ {
+		n, err := b.Incr([]byte("ctr"))
+		if err != nil || n != want {
+			t.Fatalf("incr=%d err=%v, want %d", n, err, want)
+		}
+	}
+	if _, err := b.Incr([]byte("k")); err == nil {
+		t.Fatal("incr of non-integer value should fail")
+	}
+
+	if err := b.MSet([][]byte{[]byte("a"), []byte("1"), []byte("b"), []byte("2")}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.MGet([][]byte{[]byte("a"), []byte("nope"), []byte("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || string(got[0]) != "1" || got[1] != nil || string(got[2]) != "2" {
+		t.Fatalf("mget: %q", got)
+	}
+
+	if n, _ := b.Del([][]byte{[]byte("a"), []byte("nope"), []byte("b")}); n != 2 {
+		t.Fatalf("del=%d, want 2", n)
+	}
+	if n, _ := b.Exists([][]byte{[]byte("a")}); n != 0 {
+		t.Fatal("key survived del")
+	}
+
+	// Memory-only mode accepts empty keys (Redis-legal).
+	if err := b.Set(nil, []byte("empty")); err != nil {
+		t.Fatalf("empty key in memory mode: %v", err)
+	}
+}
+
+// TestRESPBackendDurableRecovery pins the restart story: values written
+// through one backend are readable from a fresh process (new tier, new
+// backend) via disk read-through, and deletes persist too.
+func TestRESPBackendDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir)
+	b := NewRESPBackend(respStore(t), tier)
+
+	if err := b.Set([]byte("stay"), []byte("persisted")); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Set([]byte("gone"), []byte("deleted")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Del([][]byte{[]byte("gone")}); err != nil {
+		t.Fatal(err)
+	}
+	// Empty keys are unrepresentable in the spill log: durable mode
+	// must reject them rather than silently lose durability.
+	if err := b.Set(nil, []byte("x")); err == nil {
+		t.Fatal("durable mode accepted an empty key")
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": everything rebuilt from the directory.
+	tier2 := openTier(t, dir)
+	b2 := NewRESPBackend(respStore(t), tier2)
+	v, ok, err := b2.Get([]byte("stay"))
+	if err != nil || !ok || string(v) != "persisted" {
+		t.Fatalf("recovered get: %q ok=%v err=%v", v, ok, err)
+	}
+	if _, ok, _ := b2.Get([]byte("gone")); ok {
+		t.Fatal("deleted key resurrected after restart")
+	}
+	if n, _ := b2.Exists([][]byte{[]byte("stay"), []byte("gone")}); n != 1 {
+		t.Fatalf("exists after restart=%d, want 1", n)
+	}
+}
+
+// TestRESPBackendBrownout pins the wire-level brownout contract: writes
+// shed with -BUSY, disk-resident reads answer -LOADING, memory-resident
+// reads and index-only EXISTS keep serving.
+func TestRESPBackendBrownout(t *testing.T) {
+	dir := t.TempDir()
+	tier := openTier(t, dir)
+	b := NewRESPBackend(respStore(t), tier)
+	reg := obs.NewRegistry()
+	b.Instrument(reg)
+
+	degraded := false
+	b.SetDegraded(func() bool { return degraded })
+
+	if err := b.Set([]byte("hot"), []byte("in-memory")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tier2 := openTier(t, dir)
+	b2 := NewRESPBackend(respStore(t), tier2)
+	b2.SetDegraded(func() bool { return degraded })
+	reg2 := obs.NewRegistry()
+	b2.Instrument(reg2)
+	degraded = true
+
+	// Writes shed with -BUSY.
+	err := b2.Set([]byte("k"), []byte("v"))
+	var re resp.ReplyError
+	if !asReplyError(err, &re) || !strings.HasPrefix(string(re), "BUSY") {
+		t.Fatalf("browned-out set: %v, want -BUSY", err)
+	}
+	if _, err := b2.Del([][]byte{[]byte("hot")}); err == nil {
+		t.Fatal("browned-out del should fail")
+	}
+	if got := b2.ShedWrites(); got != 2 {
+		t.Fatalf("shed writes=%d, want 2", got)
+	}
+	if f, ok := reg2.Snapshot().Find(obs.MetricRESPShedWrites); !ok || f.Metrics[0].Value != 2 {
+		t.Fatal("resp_shed_writes_total not incremented")
+	}
+
+	// Disk-resident read answers -LOADING...
+	_, _, err = b2.Get([]byte("hot"))
+	if !asReplyError(err, &re) || !strings.HasPrefix(string(re), "LOADING") {
+		t.Fatalf("browned-out disk read: %v, want -LOADING", err)
+	}
+	// ...but index-only EXISTS still serves.
+	if n, err := b2.Exists([][]byte{[]byte("hot")}); err != nil || n != 1 {
+		t.Fatalf("exists during brownout: n=%d err=%v", n, err)
+	}
+	// Memory-resident reads keep serving on the original backend.
+	if v, ok, err := b.Get([]byte("hot")); err != nil || !ok || string(v) != "in-memory" {
+		t.Fatalf("memory-resident read during brownout: %q ok=%v err=%v", v, ok, err)
+	}
+
+	// Heal: the shed write now lands and the disk read recovers.
+	degraded = false
+	if err := b2.Set([]byte("k"), []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok, _ := b2.Get([]byte("hot")); !ok || string(v) != "in-memory" {
+		t.Fatalf("read-through after heal: %q ok=%v", v, ok)
+	}
+}
+
+func asReplyError(err error, out *resp.ReplyError) bool {
+	re, ok := err.(resp.ReplyError)
+	if ok {
+		*out = re
+	}
+	return ok
+}
+
+// TestRESPBackendVirtualClock pins the virtual-time bridge: every
+// command advances the simulated clock, epochs resolve on cadence, and
+// INFO surfaces the bridge.
+func TestRESPBackendVirtualClock(t *testing.T) {
+	b := NewRESPBackend(respStore(t), nil)
+	reg := obs.NewRegistry()
+	b.Instrument(reg)
+
+	if b.VirtualNow() != 0 {
+		t.Fatal("virtual clock should start at zero")
+	}
+	key := []byte("k")
+	if err := b.Set(key, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	after1 := b.VirtualNow()
+	if after1 <= 0 {
+		t.Fatal("set did not advance the virtual clock")
+	}
+	for i := 0; i < 5000; i++ {
+		b.Get(key)
+	}
+	after2 := b.VirtualNow()
+	if after2 <= after1 {
+		t.Fatal("reads did not advance the virtual clock")
+	}
+	// 5000 DRAM reads at ~hundreds of ns each crosses the 10 ms epoch
+	// boundary at least once, so lastEpoch must have moved.
+	if after2 > respEpochNs && b.lastEpoch == 0 {
+		t.Fatal("epoch never resolved despite crossing the cadence")
+	}
+
+	snap := reg.Snapshot()
+	if f, ok := snap.Find(obs.MetricRESPVirtualTimeNs); !ok || f.Metrics[0].Value <= 0 {
+		t.Fatal("resp_virtual_time_ns gauge not published")
+	}
+	if f, ok := snap.Find(obs.MetricRESPServiceNs); !ok || len(f.Metrics) == 0 {
+		t.Fatal("resp_command_service_ns histogram not published")
+	}
+
+	info := b.Info()
+	for _, want := range []string{"virtual_time_ns:", "db0:keys=1", "hit_rate:"} {
+		if !strings.Contains(info, want) {
+			t.Fatalf("INFO missing %q:\n%s", want, info)
+		}
+	}
+}

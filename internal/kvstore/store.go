@@ -273,6 +273,10 @@ func (s *Store) WarmCache(mix workload.YCSBMix, draws int, seed int64) {
 // Space exposes the heap for tiering daemons.
 func (s *Store) Space() *vmm.Space { return s.space }
 
+// SimKeys reports the simulated keyspace size, so front ends (RESP) can
+// hash real keys into it.
+func (s *Store) SimKeys() int { return s.cfg.SimKeys }
+
 // BytesPerKey is the real bytes one simulated key stands for.
 func (s *Store) BytesPerKey() float64 {
 	return float64(s.cfg.WorkingSetBytes) / float64(s.cfg.SimKeys)

@@ -50,6 +50,20 @@ const (
 	MetricSpillShedWrites    = "spill_shed_writes_total"
 	MetricSpillCatchupWrites = "spill_catchup_writes_total"
 	MetricSpillReadMismatch  = "spill_read_mismatch_total"
+
+	// RESP wire-protocol front end (internal/resp): per-command traffic
+	// and connection lifecycle, plus the kvstore backend's simulated
+	// service-time histograms and virtual clock.
+	MetricRESPCommands       = "resp_commands_total"
+	MetricRESPErrors         = "resp_errors_total"
+	MetricRESPConnsOpen      = "resp_connections_open"
+	MetricRESPConnsTotal     = "resp_connections_total"
+	MetricRESPConnsRejected  = "resp_connections_rejected_total"
+	MetricRESPProtocolErrors = "resp_protocol_errors_total"
+	MetricRESPServiceNs      = "resp_command_service_ns"
+	MetricRESPVirtualTimeNs  = "resp_virtual_time_ns"
+	MetricRESPKeys           = "resp_keys"
+	MetricRESPShedWrites     = "resp_shed_writes_total"
 )
 
 // KernelObserver implements sim.Observer: it counts event lifecycle

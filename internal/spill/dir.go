@@ -418,6 +418,14 @@ func (d *Dir) Stats() Stats {
 func (d *Dir) Recovery() *RecoveryReport { return d.recovery }
 
 // Close syncs (best effort once failed) and closes every handle.
+//
+// Close is idempotent by contract: the first call does the work and
+// nils out every handle, so later calls are no-ops returning nil. This
+// matters for process teardown, where a deferred Close routinely races
+// an explicit shutdown-path Close (the cxlserve drain path) — a second
+// Close must never double-close file descriptors or report a spurious
+// error. Other methods are NOT safe after Close; only Close itself may
+// be repeated.
 func (d *Dir) Close() error {
 	var first error
 	if d.failed == nil && d.active != nil {
